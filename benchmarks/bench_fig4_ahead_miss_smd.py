@@ -1,0 +1,64 @@
+"""Figure 4: Ahead/Miss outperformance counts on the SMD subsets.
+
+For each baseline, compute CAD's Ahead and Miss on every SMD subset, then
+sweep the ratio q from 0 to 1 and count the subsets with Ahead > q (left
+plot) and Miss < q (right plot).
+
+Expected shape (paper): most subsets sit at Ahead > 50% and more than half
+at Miss < 50%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import smd_subset_count
+from repro.baselines import METHOD_NAMES
+from repro.bench import emit, format_series, run_method
+from repro.datasets import load_dataset, smd_subset_names
+from repro.evaluation import ahead_miss, best_predictions
+
+
+def fig4_pairs() -> dict[str, list]:
+    subsets = smd_subset_names()[: smd_subset_count()]
+    pairs: dict[str, list] = {m: [] for m in METHOD_NAMES if m != "CAD"}
+    for subset in subsets:
+        labels = load_dataset(subset).labels
+        cad_pred = best_predictions(
+            run_method("CAD", subset, seed=0).scores, labels, "dpa"
+        )
+        for method in pairs:
+            other = best_predictions(
+                run_method(method, subset, seed=0).scores, labels, "dpa"
+            )
+            pairs[method].append(ahead_miss(cad_pred, other, labels))
+    return pairs
+
+
+def test_fig4_ahead_miss_smd(once):
+    pairs = once(fig4_pairs)
+    ratios = np.linspace(0.0, 1.0, 11)
+
+    sections = []
+    for method, relative in pairs.items():
+        aheads = np.array([p.ahead for p in relative])
+        misses = np.array([p.miss for p in relative])
+        ahead_counts = [(aheads > q).sum() for q in ratios]
+        miss_counts = [(misses < q).sum() for q in ratios]
+        sections.append(
+            format_series(f"CAD vs {method}: #subsets with Ahead > q", ratios, ahead_counts)
+        )
+        sections.append(
+            format_series(f"CAD vs {method}: #subsets with Miss < q", ratios, miss_counts)
+        )
+
+    emit("fig4_ahead_miss_smd", "\n\n".join(sections))
+
+    # Shape: at q = 0.5, most comparisons favour CAD on Ahead.
+    total = 0
+    favourable = 0
+    for relative in pairs.values():
+        for p in relative:
+            total += 1
+            favourable += p.ahead > 0.5
+    assert favourable >= total * 0.4, "CAD should lead on Ahead for most subsets"

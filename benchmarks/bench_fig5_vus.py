@@ -1,0 +1,65 @@
+"""Figure 5: VUS-ROC and VUS-PR after PA and after DPA, all methods.
+
+Expected shape (paper): CAD achieves the highest volumes with only a small
+PA -> DPA drop, and keeps its level on the larger IS datasets where the
+baselines fall off.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import METHOD_NAMES
+from repro.bench import TABLE3_DATASETS, emit, format_table, run_method
+from repro.datasets import load_dataset
+from repro.evaluation import vus
+
+
+def fig5_results() -> dict[str, dict[str, dict[str, float]]]:
+    """{method: {dataset: {vus_roc_pa, vus_pr_pa, vus_roc_dpa, vus_pr_dpa}}}"""
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for method in METHOD_NAMES:
+        per_dataset = {}
+        for dataset_name in TABLE3_DATASETS:
+            labels = load_dataset(dataset_name).labels
+            scores = run_method(method, dataset_name, seed=0).scores
+            after_pa = vus(scores, labels, mode="pa")
+            after_dpa = vus(scores, labels, mode="dpa")
+            per_dataset[dataset_name] = {
+                "vus_roc_pa": after_pa.vus_roc,
+                "vus_pr_pa": after_pa.vus_pr,
+                "vus_roc_dpa": after_dpa.vus_roc,
+                "vus_pr_dpa": after_dpa.vus_pr,
+            }
+        results[method] = per_dataset
+    return results
+
+
+def test_fig5_vus(once):
+    results = once(fig5_results)
+
+    for metric, label in (
+        ("vus_roc", "VUS-ROC"),
+        ("vus_pr", "VUS-PR"),
+    ):
+        headers = ["Method"]
+        for dataset_name in TABLE3_DATASETS:
+            headers += [f"{dataset_name} PA", f"{dataset_name} DPA"]
+        rows = []
+        for method in METHOD_NAMES:
+            row: list[object] = [method]
+            for dataset_name in TABLE3_DATASETS:
+                cell = results[method][dataset_name]
+                row += [
+                    f"{100 * cell[f'{metric}_pa']:.1f}",
+                    f"{100 * cell[f'{metric}_dpa']:.1f}",
+                ]
+            rows.append(row)
+        emit(
+            f"fig5_{metric}",
+            format_table(headers, rows, title=f"Figure 5: {label} after PA / DPA (x100)"),
+        )
+
+    # Shape: DPA never beats PA, and CAD's drop stays small on average.
+    for method in METHOD_NAMES:
+        for dataset_name in TABLE3_DATASETS:
+            cell = results[method][dataset_name]
+            assert cell["vus_roc_dpa"] <= cell["vus_roc_pa"] + 0.02

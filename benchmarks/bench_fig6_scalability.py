@@ -1,0 +1,59 @@
+"""Figure 6: scalability on IS-1 .. IS-5 (143 to 1,266 sensors).
+
+Left plot: F1_PA and F1_DPA versus sensor count.  Right plot: CAD's time
+per round (TPR) versus sensor count.
+
+Expected shape (paper): a modest accuracy drop as the sensor count grows,
+and TPR growing subquadratically in the number of sensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import emit, format_series, run_method, tuned_cad_config
+from repro.datasets import load_dataset
+
+IS_DATASETS = ("is1-sim", "is2-sim", "is3-sim", "is4-sim", "is5-sim")
+
+
+def fig6_results() -> list[dict[str, float]]:
+    rows = []
+    for dataset_name in IS_DATASETS:
+        dataset = load_dataset(dataset_name)
+        run = run_method("CAD", dataset_name, seed=0)
+        config = tuned_cad_config(dataset)
+        n_rounds = (dataset.test.length - config.window) // config.step + 1
+        rows.append(
+            {
+                "n_sensors": dataset.n_sensors,
+                "f1_pa": run.f1(dataset.labels, "pa"),
+                "f1_dpa": run.f1(dataset.labels, "dpa"),
+                "tpr_ms": 1000.0 * run.score_seconds / n_rounds,
+            }
+        )
+    return rows
+
+
+def test_fig6_scalability(once):
+    rows = once(fig6_results)
+    ns = [row["n_sensors"] for row in rows]
+
+    emit(
+        "fig6_scalability",
+        "\n\n".join(
+            [
+                format_series("F1_PA vs #sensors", ns, [100 * r["f1_pa"] for r in rows]),
+                format_series("F1_DPA vs #sensors", ns, [100 * r["f1_dpa"] for r in rows]),
+                format_series("TPR (ms) vs #sensors", ns, [r["tpr_ms"] for r in rows]),
+            ]
+        ),
+    )
+
+    # Shape 1: TPR grows subquadratically in the sensor count.
+    growth = rows[-1]["tpr_ms"] / max(rows[0]["tpr_ms"], 1e-9)
+    quadratic = (ns[-1] / ns[0]) ** 2
+    assert growth < quadratic, "TPR should grow subquadratically with #sensors"
+
+    # Shape 2: accuracy stays usable at the largest scale.
+    assert rows[-1]["f1_dpa"] > 0.5, "CAD should keep detecting at 1,266 sensors"

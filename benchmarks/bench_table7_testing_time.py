@@ -1,0 +1,60 @@
+"""Table VII: testing (detection) time and CAD's time per round (TPR).
+
+TPR must stay below the step duration for real-time operation (Section
+VI-D): ``TPR < s / freq``.  The bench reports the maximum sampling
+frequency CAD could sustain on each dataset.
+
+Expected shape (paper): CAD's detection takes seconds and TPR is
+milliseconds, supporting real-time rates far above typical sensor
+frequencies.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import METHOD_NAMES
+from repro.bench import TABLE3_DATASETS, emit, format_table, run_method, tuned_cad_config
+from repro.datasets import load_dataset
+
+
+def test_table7_testing_time(once):
+    def experiment():
+        times = {}
+        for method in METHOD_NAMES:
+            times[method] = {
+                dataset: run_method(method, dataset, seed=0).score_seconds
+                for dataset in TABLE3_DATASETS
+            }
+        # CAD's rounds per dataset derive from the tuned window spec.
+        rounds = {}
+        for dataset_name in TABLE3_DATASETS:
+            dataset = load_dataset(dataset_name)
+            config = tuned_cad_config(dataset)
+            rounds[dataset_name] = (
+                dataset.test.length - config.window
+            ) // config.step + 1
+        return times, rounds
+
+    times, rounds = once(experiment)
+
+    headers = ["Method", *TABLE3_DATASETS]
+    rows = []
+    for method in METHOD_NAMES:
+        rows.append(
+            [method, *(f"{times[method][d]:.2f}" for d in TABLE3_DATASETS)]
+        )
+        if method == "CAD":
+            tpr_cells = []
+            for dataset in TABLE3_DATASETS:
+                tpr_ms = 1000.0 * times["CAD"][dataset] / rounds[dataset]
+                tpr_cells.append(f"{tpr_ms:.1f}ms")
+            rows.append(["TPR", *tpr_cells])
+
+    emit(
+        "table7_testing_time",
+        format_table(headers, rows, title="Table VII: testing time (s) and CAD TPR"),
+    )
+
+    # Shape: real-time feasibility — TPR well under one second per round.
+    for dataset in TABLE3_DATASETS:
+        tpr = times["CAD"][dataset] / rounds[dataset]
+        assert tpr < 1.0, f"CAD TPR on {dataset} too slow for real-time operation"

@@ -1,0 +1,63 @@
+"""Table VIII: minimum F1_PA / F1_DPA over repeats (robustness).
+
+Deterministic methods (CAD, LOF, ECOD, S2G) produce identical output every
+run, so their minimum equals their mean; stochastic methods show a gap.
+
+Expected shape (paper): CAD's minimum equals its mean (zero variance),
+while the stochastic methods' minima fall below their means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import METHOD_NAMES, deterministic_methods
+from repro.bench import TABLE3_DATASETS, emit, format_table, run_repeats
+from repro.datasets import load_dataset
+
+
+def table8_results() -> dict[str, dict[str, dict[str, float]]]:
+    deterministic = set(deterministic_methods())
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for method in METHOD_NAMES:
+        per_dataset = {}
+        for dataset_name in TABLE3_DATASETS:
+            labels = load_dataset(dataset_name).labels
+            runs = run_repeats(method, dataset_name, method in deterministic)
+            pa = [run.f1(labels, "pa") for run in runs]
+            dpa = [run.f1(labels, "dpa") for run in runs]
+            per_dataset[dataset_name] = {
+                "min_pa": float(np.min(pa)),
+                "min_dpa": float(np.min(dpa)),
+                "mean_pa": float(np.mean(pa)),
+                "mean_dpa": float(np.mean(dpa)),
+            }
+        results[method] = per_dataset
+    return results
+
+
+def test_table8_min_f1(once):
+    results = once(table8_results)
+
+    headers = ["Method"]
+    for dataset_name in TABLE3_DATASETS:
+        headers += [f"{dataset_name} minPA", f"{dataset_name} minDPA"]
+    rows = []
+    for method in METHOD_NAMES:
+        row: list[object] = [method]
+        for dataset_name in TABLE3_DATASETS:
+            cell = results[method][dataset_name]
+            row += [f"{100 * cell['min_pa']:.1f}", f"{100 * cell['min_dpa']:.1f}"]
+        rows.append(row)
+
+    emit(
+        "table8_min_f1",
+        format_table(headers, rows, title="Table VIII: minimum F1_PA / F1_DPA (x100)"),
+    )
+
+    # Shape: deterministic methods have min == mean on every dataset.
+    for method in deterministic_methods():
+        for dataset_name in TABLE3_DATASETS:
+            cell = results[method][dataset_name]
+            assert abs(cell["min_pa"] - cell["mean_pa"]) < 1e-12
+            assert abs(cell["min_dpa"] - cell["mean_dpa"]) < 1e-12

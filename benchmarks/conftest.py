@@ -1,0 +1,39 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each module regenerates one table or figure of the paper.  Experiments are
+wrapped in ``benchmark.pedantic(..., rounds=1, iterations=1)`` — they are
+minutes-long pipelines, not micro-benchmarks — and their outputs are printed
+and persisted under ``results/``.
+
+Knobs (environment variables):
+
+* ``REPRO_REPEATS`` — repeats for stochastic methods (default 3; paper: 10).
+* ``REPRO_SMD_SUBSETS`` — SMD subsets for Table IV / Fig. 4 (default 8 of
+  28, for runtime; set 28 for the full sweep).
+* ``REPRO_CACHE_DIR`` — score cache location (default ``results/cache``).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    # The benchmarks print the reproduced tables; -s would normally be
+    # needed, so surface a hint in the header instead of silently hiding
+    # the output (it is persisted under results/ regardless).
+    os.environ.setdefault("REPRO_REPEATS", "3")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    return runner
+
+
+def smd_subset_count() -> int:
+    return max(1, min(28, int(os.environ.get("REPRO_SMD_SUBSETS", "8"))))

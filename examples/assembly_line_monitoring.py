@@ -1,0 +1,76 @@
+"""Predictive maintenance on a simulated assembly line.
+
+Run with::
+
+    python examples/assembly_line_monitoring.py
+
+Models the paper's motivating scenario: a machine fault starts on one
+component and propagates to neighbours over time (Section I).  The example
+builds a 60-sensor line with a propagating "decouple" fault, lets CAD
+monitor it, and reports how early the alarm fires relative to (a) the true
+onset and (b) the point where the fault has spread to half the affected
+sensors — the window in which maintenance is cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CAD, CADConfig
+from repro.datasets import AnomalySpec, NetworkConfig, SensorNetworkSimulator
+from repro.timeseries import MultivariateTimeSeries
+
+
+def main() -> None:
+    simulator = SensorNetworkSimulator(
+        NetworkConfig(n_sensors=60, n_communities=6, seed=42)
+    )
+    history = simulator.generate(3000)
+
+    # A fault hits 8 sensors of one community, spreading across the first
+    # half of its 600-point span.
+    community = simulator.community_of
+    victims = tuple(int(s) for s in np.flatnonzero(community == 2)[:8])
+    fault = AnomalySpec(
+        start=2200,
+        stop=2800,
+        sensors=victims,
+        kind="decouple",
+        propagate=True,
+    )
+    live = simulator.generate(4000, [fault], t0=3000)
+
+    config = CADConfig.suggest(4000, 60, k=8, theta=0.12)
+    detector = CAD(config, 60)
+    detector.warm_up(history.series)
+    result = detector.detect(live.series)
+
+    print(f"fault: sensors {victims} decouple from t=2200, "
+          f"fully spread by t={fault.onset(victims[-1])}")
+    print(f"CAD: {result.n_anomalies} anomalies detected\n")
+
+    first_alarm = None
+    for anomaly in result.anomalies:
+        overlap = anomaly.start < fault.stop + config.window and fault.start < anomaly.stop
+        marker = " <-- fault" if overlap else ""
+        print(f"  alarm at [{anomaly.start:5d}, {anomaly.stop:5d}) "
+              f"sensors {sorted(anomaly.sensors)}{marker}")
+        if overlap and first_alarm is None:
+            first_alarm = anomaly
+
+    if first_alarm is None:
+        print("\nno alarm overlapped the fault — try a lower theta")
+        return
+
+    lead = fault.onset(victims[len(victims) // 2]) - first_alarm.start
+    print(f"\nfirst alarm at t={first_alarm.start} "
+          f"({first_alarm.start - fault.start:+d} points after onset)")
+    if lead > 0:
+        print(f"that is {lead} points BEFORE the fault reaches half the "
+              f"affected sensors — maintenance can start while the damage is local")
+    correct = set(first_alarm.sensors) & set(victims)
+    print(f"sensors correctly implicated in the first alarm: {sorted(correct)}")
+
+
+if __name__ == "__main__":
+    main()

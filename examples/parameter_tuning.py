@@ -1,0 +1,57 @@
+"""Tuning CAD's theta: the RC-level probe workflow.
+
+Run with::
+
+    python examples/parameter_tuning.py
+
+The outlier threshold theta (Definition 7) must sit just below the
+dataset's normal ratio-of-co-appearance level, which scales with community
+size over ``n - 1`` — a fixed theta cannot fit every sensor network.  This
+example shows the recommended workflow: probe the RC distribution with a
+throw-away detector, then sweep theta over fractions of the probed level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CAD, CADConfig
+from repro.bench import probe_rc_level
+from repro.datasets import load_dataset
+from repro.evaluation import best_f1
+
+
+def main() -> None:
+    data = load_dataset("swat-sim")
+    print(f"dataset: {data.name} ({data.n_sensors} sensors)")
+
+    rc_level = probe_rc_level(data)
+    print(f"probed median RC under normal operation: {rc_level:.3f}")
+    print("(vertices whose RC falls below theta become outliers, so theta "
+          "must sit below this level)\n")
+
+    print(f"{'fraction':>8s}  {'theta':>6s}  {'F1_PA':>6s}  {'F1_DPA':>6s}  {'#anomalies':>10s}")
+    best = (None, -1.0)
+    for fraction in (0.4, 0.55, 0.7, 0.85, 1.0, 1.3):
+        theta = float(np.clip(fraction * rc_level, 0.01, 0.95))
+        config = CADConfig.suggest(
+            data.test.length, data.n_sensors, k=data.recommended_k, theta=theta
+        )
+        detector = CAD(config, data.n_sensors)
+        detector.warm_up(data.history)
+        result = detector.detect(data.test)
+        scores = result.point_scores()
+        pa = best_f1(scores, data.labels, "pa")
+        dpa = best_f1(scores, data.labels, "dpa")
+        print(f"{fraction:8.2f}  {theta:6.3f}  {100 * pa:6.1f}  {100 * dpa:6.1f}  "
+              f"{result.n_anomalies:10d}")
+        if dpa > best[1]:
+            best = (theta, dpa)
+
+    print(f"\nbest theta: {best[0]:.3f} (F1_DPA {100 * best[1]:.1f})")
+    print("fractions above 1.0 make most vertices chronic outliers and "
+          "detection collapses — the sweep shows the cliff.")
+
+
+if __name__ == "__main__":
+    main()

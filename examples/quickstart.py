@@ -1,0 +1,55 @@
+"""Quickstart: detect anomalies in a simulated sensor network with CAD.
+
+Run with::
+
+    python examples/quickstart.py
+
+Generates a small community-structured MTS with labelled anomalies, warms
+CAD up on the history segment, detects over the live segment, and prints
+the anomalies (time spans + affected sensors) next to the ground truth.
+"""
+
+from __future__ import annotations
+
+from repro import CAD, CADConfig
+from repro.datasets import load_dataset
+from repro.evaluation import best_f1
+
+
+def main() -> None:
+    # A 26-sensor simulation standing in for the PSM dataset (see
+    # DESIGN.md): `history` is anomaly-free warm-up data, `test` contains
+    # labelled anomalies.
+    data = load_dataset("psm-sim")
+    print(f"dataset: {data.name} — {data.n_sensors} sensors, "
+          f"{data.history.length} history points, {data.test.length} test points")
+
+    # Hyper-parameters; CADConfig.suggest picks paper-recommended values
+    # from the data shape, here we also pass the dataset's k (Table II).
+    config = CADConfig.suggest(
+        data.test.length, data.n_sensors, k=data.recommended_k
+    )
+    print(f"config: w={config.window} s={config.step} k={config.k} "
+          f"tau={config.tau} theta={config.theta}")
+
+    detector = CAD(config, data.n_sensors)
+    detector.warm_up(data.history)
+    result = detector.detect(data.test)
+
+    print(f"\ndetected {result.n_anomalies} anomalies:")
+    for anomaly in result.anomalies:
+        sensors = ", ".join(str(s) for s in sorted(anomaly.sensors))
+        print(f"  points [{anomaly.start:5d}, {anomaly.stop:5d})  sensors: {sensors}")
+
+    print("\nground truth:")
+    for event in data.events:
+        sensors = ", ".join(str(s) for s in sorted(event.sensors))
+        print(f"  points [{event.start:5d}, {event.stop:5d})  sensors: {sensors}")
+
+    scores = result.point_scores()
+    print(f"\nF1 after Point Adjustment:       {best_f1(scores, data.labels, 'pa'):.3f}")
+    print(f"F1 after Delay-Point Adjustment: {best_f1(scores, data.labels, 'dpa'):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""The paper's nine benchmark methods plus CAD behind one interface."""
+
+from .base import AnomalyDetector, normalize_scores, sensors_from_scores
+from .cad_adapter import CADDetector
+from .ecod import ECOD
+from .hbos import HBOS
+from .iforest import IsolationForest, average_path_length
+from .lof import LOF
+from .norma import NormA
+from .pca import PCADetector
+from .rcoders import RCoders
+from .registry import (
+    EXTRA_METHOD_NAMES,
+    METHOD_NAMES,
+    MTS_METHOD_NAMES,
+    UTS_METHOD_NAMES,
+    deterministic_methods,
+    make_detector,
+)
+from .s2g import Series2Graph
+from .sand import SAND, StreamingSAND
+from .univariate import (
+    UnivariateAdapter,
+    UnivariateDetector,
+    spread_to_points,
+    subsequences,
+)
+from .usad import USAD
+
+__all__ = [
+    "AnomalyDetector",
+    "normalize_scores",
+    "sensors_from_scores",
+    "CADDetector",
+    "LOF",
+    "ECOD",
+    "HBOS",
+    "PCADetector",
+    "IsolationForest",
+    "average_path_length",
+    "USAD",
+    "RCoders",
+    "Series2Graph",
+    "SAND",
+    "StreamingSAND",
+    "NormA",
+    "UnivariateDetector",
+    "UnivariateAdapter",
+    "subsequences",
+    "spread_to_points",
+    "METHOD_NAMES",
+    "EXTRA_METHOD_NAMES",
+    "MTS_METHOD_NAMES",
+    "UTS_METHOD_NAMES",
+    "make_detector",
+    "deterministic_methods",
+]

@@ -1,0 +1,93 @@
+"""Common interface for all benchmark anomaly detectors.
+
+Every method — MTS or univariate-adapted — exposes the same two-phase API
+the paper's protocol assumes:
+
+* :meth:`fit` consumes the training / historical segment (methods that do
+  not train simply remember scaling statistics);
+* :meth:`score` returns one anomaly score per test time point, normalised
+  to [0, 1] so the threshold grid search (Section VI-A) applies uniformly.
+
+Methods that can localise abnormal sensors (CAD, ECOD, RCoders) additionally
+implement :meth:`sensor_scores`, returning an ``(n_sensors, length)`` matrix
+of per-sensor scores.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..evaluation.sensors import SensorEvent
+from ..timeseries.mts import MultivariateTimeSeries
+from ..timeseries.normalization import minmax_unit
+
+
+class AnomalyDetector(ABC):
+    """Base class; subclasses set ``name`` and ``deterministic``."""
+
+    name: str = "base"
+    #: Whether repeated runs with different seeds give identical output
+    #: (Table VIII separates deterministic from stochastic methods).
+    deterministic: bool = True
+
+    @abstractmethod
+    def fit(self, train: MultivariateTimeSeries) -> "AnomalyDetector":
+        """Learn from the training segment; returns self for chaining."""
+
+    @abstractmethod
+    def score(self, test: MultivariateTimeSeries) -> np.ndarray:
+        """Per-point anomaly scores in [0, 1] for the test segment."""
+
+    def sensor_scores(self, test: MultivariateTimeSeries) -> np.ndarray | None:
+        """Optional ``(n_sensors, length)`` per-sensor score matrix."""
+        return None
+
+    def _require_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute, None) is None:
+            raise RuntimeError(f"{self.name}: fit() must be called before score()")
+
+
+def normalize_scores(raw: np.ndarray) -> np.ndarray:
+    """Map raw scores to [0, 1] (shared post-processing for every method)."""
+    return minmax_unit(np.asarray(raw, dtype=np.float64))
+
+
+def sensors_from_scores(
+    matrix: np.ndarray,
+    events: tuple[SensorEvent, ...] | list[SensorEvent],
+    ratio: float = 2.0,
+) -> list[tuple[int, int, frozenset[int]]]:
+    """Turn a per-sensor score matrix into per-event abnormal sensor sets.
+
+    A sensor is flagged for an event when its mean score inside the event
+    exceeds ``ratio`` times its mean score outside all events (with a small
+    floor to avoid division blow-ups).  Returns ``(start, stop, sensors)``
+    triples suitable for :func:`repro.evaluation.f1_sensor`.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected (n_sensors, length) matrix, got {matrix.shape}")
+    if ratio <= 0:
+        raise ValueError(f"ratio must be > 0, got {ratio}")
+    length = matrix.shape[1]
+    outside_mask = np.ones(length, dtype=bool)
+    for event in events:
+        outside_mask[event.start : min(event.stop, length)] = False
+    baseline = matrix[:, outside_mask].mean(axis=1) if outside_mask.any() else np.zeros(
+        matrix.shape[0]
+    )
+    floor = max(1e-6, float(np.mean(baseline)) * 0.05)
+
+    results = []
+    for event in events:
+        inside = matrix[:, event.start : min(event.stop, length)]
+        if inside.shape[1] == 0:
+            results.append((event.start, event.stop, frozenset()))
+            continue
+        elevated = inside.mean(axis=1) > ratio * np.maximum(baseline, floor)
+        results.append(
+            (event.start, event.stop, frozenset(int(i) for i in np.flatnonzero(elevated)))
+        )
+    return results

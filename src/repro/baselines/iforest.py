@@ -1,0 +1,130 @@
+"""Isolation Forest (Liu et al., paper reference [50]), from scratch.
+
+An ensemble of random isolation trees, each grown on a subsample of the
+training points.  Anomalies isolate in few splits, so the anomaly score is
+``2 ** (-E[h(x)] / c(psi))`` with ``h`` the path length and ``c`` the
+average BST path-length normaliser.
+
+Stochastic: different seeds grow different forests (the paper's Table VIII
+uses this to contrast with CAD's determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries.mts import MultivariateTimeSeries
+from .base import AnomalyDetector, normalize_scores
+
+
+def average_path_length(n: int) -> float:
+    """``c(n)``: average unsuccessful-search path length of a BST of size n."""
+    if n <= 1:
+        return 0.0
+    if n == 2:
+        return 1.0
+    harmonic = np.log(n - 1) + np.euler_gamma
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+@dataclass
+class _Node:
+    """Internal split node or leaf of an isolation tree."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    size: int = 0  # leaf only
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _grow(data: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator) -> _Node:
+    n = data.shape[0]
+    if depth >= max_depth or n <= 1:
+        return _Node(size=n)
+    spans = data.max(axis=0) - data.min(axis=0)
+    candidates = np.flatnonzero(spans > 1e-12)
+    if candidates.size == 0:
+        return _Node(size=n)
+    feature = int(rng.choice(candidates))
+    low, high = data[:, feature].min(), data[:, feature].max()
+    threshold = float(rng.uniform(low, high))
+    mask = data[:, feature] < threshold
+    if not mask.any() or mask.all():
+        return _Node(size=n)
+    return _Node(
+        feature=feature,
+        threshold=threshold,
+        left=_grow(data[mask], depth + 1, max_depth, rng),
+        right=_grow(data[~mask], depth + 1, max_depth, rng),
+    )
+
+
+def _path_lengths(node: _Node, data: np.ndarray, depth: float, out: np.ndarray, idx: np.ndarray) -> None:
+    if node.is_leaf:
+        out[idx] = depth + average_path_length(node.size)
+        return
+    mask = data[:, node.feature] < node.threshold
+    if mask.any():
+        _path_lengths(node.left, data[mask], depth + 1, out, idx[mask])
+    if (~mask).any():
+        _path_lengths(node.right, data[~mask], depth + 1, out, idx[~mask])
+
+
+class IsolationForest(AnomalyDetector):
+    """Isolation forest over MTS time points.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees (paper default 100).
+    subsample:
+        Points per tree (paper default 256).
+    seed:
+        RNG seed; vary it across repeats to measure stability.
+    """
+
+    name = "IForest"
+    deterministic = False
+
+    def __init__(self, n_estimators: int = 100, subsample: int = 256, seed: int = 0):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if subsample < 2:
+            raise ValueError(f"subsample must be >= 2, got {subsample}")
+        self.n_estimators = n_estimators
+        self.subsample = subsample
+        self.seed = seed
+        self._trees: list[_Node] | None = None
+        self._c: float = 1.0
+
+    def fit(self, train: MultivariateTimeSeries) -> "IsolationForest":
+        rng = np.random.default_rng(self.seed)
+        points = train.values.T  # (T, n)
+        psi = min(self.subsample, points.shape[0])
+        max_depth = int(np.ceil(np.log2(max(psi, 2))))
+        self._trees = []
+        for _ in range(self.n_estimators):
+            idx = rng.choice(points.shape[0], size=psi, replace=False)
+            self._trees.append(_grow(points[idx], 0, max_depth, rng))
+        self._c = average_path_length(psi)
+        return self
+
+    def score(self, test: MultivariateTimeSeries) -> np.ndarray:
+        self._require_fitted("_trees")
+        points = test.values.T
+        total = np.zeros(points.shape[0])
+        lengths = np.empty(points.shape[0])
+        index = np.arange(points.shape[0])
+        for tree in self._trees:
+            _path_lengths(tree, points, 0.0, lengths, index)
+            total += lengths
+        mean_depth = total / len(self._trees)
+        raw = np.power(2.0, -mean_depth / max(self._c, 1e-12))
+        return normalize_scores(raw)

@@ -1,0 +1,120 @@
+"""Local Outlier Factor (Breunig et al., paper reference [15]), from scratch.
+
+Each time point of the MTS is a vector in R^n.  The reference density model
+is estimated on the training segment; test points are scored by the classic
+LOF ratio: the average local reachability density (lrd) of a point's k
+nearest training neighbours divided by the point's own lrd.
+
+The O(|train|^2) neighbour search is kept tractable by uniformly
+subsampling the training segment to ``max_reference`` points and computing
+distances in chunks (bounded memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeseries.mts import MultivariateTimeSeries
+from ..timeseries.normalization import StandardScaler
+from .base import AnomalyDetector, normalize_scores
+
+
+def _chunked_distances(a: np.ndarray, b: np.ndarray, chunk: int = 512):
+    """Yield ``(start, distances)`` blocks of pairwise Euclidean distances."""
+    b_sq = np.sum(b * b, axis=1)
+    for start in range(0, a.shape[0], chunk):
+        block = a[start : start + chunk]
+        d2 = (
+            np.sum(block * block, axis=1)[:, None]
+            - 2.0 * block @ b.T
+            + b_sq[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        yield start, np.sqrt(d2)
+
+
+class LOF(AnomalyDetector):
+    """LOF anomaly scores over MTS time points.
+
+    Parameters
+    ----------
+    n_neighbors:
+        ``k`` of the k-distance neighbourhood (20 is the authors' default).
+    max_reference:
+        Cap on the training reference set size (uniform subsample).
+    """
+
+    name = "LOF"
+    deterministic = True
+
+    def __init__(self, n_neighbors: int = 20, max_reference: int = 2000):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if max_reference <= n_neighbors:
+            raise ValueError("max_reference must exceed n_neighbors")
+        self.n_neighbors = n_neighbors
+        self.max_reference = max_reference
+        self._scaler: StandardScaler | None = None
+        self._reference: np.ndarray | None = None
+        self._k_distance: np.ndarray | None = None
+        self._lrd: np.ndarray | None = None
+        self._neighbor_idx: np.ndarray | None = None
+
+    def fit(self, train: MultivariateTimeSeries) -> "LOF":
+        self._scaler = StandardScaler.fit(train.values)
+        points = self._scaler.transform(train.values).T  # (T, n)
+        if points.shape[0] > self.max_reference:
+            # Deterministic uniform subsample keeps the temporal spread.
+            idx = np.linspace(0, points.shape[0] - 1, self.max_reference).astype(int)
+            points = points[idx]
+        if points.shape[0] <= self.n_neighbors:
+            raise ValueError(
+                f"need more than {self.n_neighbors} training points, "
+                f"got {points.shape[0]}"
+            )
+        self._reference = points
+
+        k = self.n_neighbors
+        n_ref = points.shape[0]
+        k_distance = np.empty(n_ref)
+        neighbor_idx = np.empty((n_ref, k), dtype=np.int64)
+        reach_sum = np.empty(n_ref)
+        # First pass: k-distances and neighbour lists within the reference.
+        for start, distances in _chunked_distances(points, points):
+            for row in range(distances.shape[0]):
+                distances[row, start + row] = np.inf  # exclude self
+            part = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            rows = np.arange(distances.shape[0])[:, None]
+            neighbor_idx[start : start + distances.shape[0]] = part
+            k_distance[start : start + distances.shape[0]] = np.max(
+                distances[rows, part], axis=1
+            )
+        self._k_distance = k_distance
+        self._neighbor_idx = neighbor_idx
+
+        # Second pass: local reachability density of reference points.
+        for start, distances in _chunked_distances(points, points):
+            for row in range(distances.shape[0]):
+                distances[row, start + row] = np.inf
+            block_idx = neighbor_idx[start : start + distances.shape[0]]
+            rows = np.arange(distances.shape[0])[:, None]
+            reach = np.maximum(distances[rows, block_idx], k_distance[block_idx])
+            reach_sum[start : start + distances.shape[0]] = reach.mean(axis=1)
+        self._lrd = 1.0 / np.maximum(reach_sum, 1e-12)
+        return self
+
+    def score(self, test: MultivariateTimeSeries) -> np.ndarray:
+        self._require_fitted("_reference")
+        points = self._scaler.transform(test.values).T
+        k = self.n_neighbors
+        reference = self._reference
+        lof = np.empty(points.shape[0])
+        for start, distances in _chunked_distances(points, reference):
+            part = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            rows = np.arange(distances.shape[0])[:, None]
+            reach = np.maximum(distances[rows, part], self._k_distance[part])
+            lrd_point = 1.0 / np.maximum(reach.mean(axis=1), 1e-12)
+            lof[start : start + distances.shape[0]] = (
+                self._lrd[part].mean(axis=1) / lrd_point
+            )
+        return normalize_scores(lof)

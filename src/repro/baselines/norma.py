@@ -1,0 +1,104 @@
+"""NormA (Boniol et al., paper reference [12]) — normal-model scoring.
+
+NormA summarises normal behaviour as a weighted set of motifs: recurring
+subsequences are clustered (k-means on z-normalised subsequences here) and
+each cluster contributes its centroid with a weight proportional to its
+coverage.  A test subsequence's anomaly score is the weighted average of
+its distances to the normal motifs — common behaviour is close to the
+heavy motifs, anomalies are far from all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.kmeans import kmeans
+from ..timeseries.normalization import zscore
+from .univariate import UnivariateDetector, spread_to_points, subsequences
+
+
+class NormA(UnivariateDetector):
+    """Normal-model anomaly scoring for one series.
+
+    Parameters
+    ----------
+    pattern_length:
+        Base pattern length ``l``; the normal model uses motifs of length
+        ``model_multiple * l`` (the paper sets the normal-model length to
+        ``4 l``, with ``l`` from the autocorrelation function).
+    n_motifs:
+        Number of clusters forming the normal model.
+    """
+
+    name = "NormA"
+    deterministic = False
+
+    def __init__(
+        self,
+        pattern_length: int = 32,
+        n_motifs: int = 8,
+        model_multiple: int = 4,
+        seed: int = 0,
+        max_train_subsequences: int = 600,
+    ):
+        if pattern_length < 4:
+            raise ValueError(f"pattern_length must be >= 4, got {pattern_length}")
+        if n_motifs < 1:
+            raise ValueError(f"n_motifs must be >= 1, got {n_motifs}")
+        if model_multiple < 1:
+            raise ValueError(f"model_multiple must be >= 1, got {model_multiple}")
+        self.pattern_length = pattern_length
+        self.n_motifs = n_motifs
+        self.model_multiple = model_multiple
+        self.seed = seed
+        self.max_train_subsequences = max_train_subsequences
+        self._motifs: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    @property
+    def motif_length(self) -> int:
+        return self.pattern_length * self.model_multiple
+
+    @property
+    def stride(self) -> int:
+        return max(1, self.pattern_length // 2)
+
+    def fit(self, train: np.ndarray) -> "NormA":
+        train = np.asarray(train, dtype=np.float64)
+        length = min(self.motif_length, max(4, train.size // 4))
+        self._fitted_length = length
+        subs = subsequences(train, length, self.stride)
+        if subs.shape[0] > self.max_train_subsequences:
+            idx = np.linspace(0, subs.shape[0] - 1, self.max_train_subsequences).astype(int)
+            subs = subs[idx]
+        normalised = np.vstack([zscore(row) for row in subs])
+        rng = np.random.default_rng(self.seed)
+        k = min(self.n_motifs, normalised.shape[0])
+        result = kmeans(normalised, k, rng)
+        self._motifs = result.centroids
+        sizes = result.cluster_sizes().astype(np.float64)
+        self._weights = sizes / sizes.sum()
+        return self
+
+    def score(self, test: np.ndarray) -> np.ndarray:
+        if self._motifs is None:
+            raise RuntimeError("NormA: fit() must be called before score()")
+        test = np.asarray(test, dtype=np.float64)
+        length = self._fitted_length
+        if test.size <= length:
+            raise ValueError(
+                f"test series of {test.size} points shorter than motif length {length}"
+            )
+        subs = subsequences(test, length, self.stride)
+        normalised = np.vstack([zscore(row) for row in subs])
+        # Euclidean distances to all motifs at once.
+        distances = np.sqrt(
+            np.maximum(
+                np.sum(normalised * normalised, axis=1)[:, None]
+                - 2.0 * normalised @ self._motifs.T
+                + np.sum(self._motifs * self._motifs, axis=1)[None, :],
+                0.0,
+            )
+        )
+        window_scores = distances @ self._weights
+        return spread_to_points(window_scores, test.size, length, self.stride)

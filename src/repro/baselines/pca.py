@@ -1,0 +1,63 @@
+"""PCA reconstruction-error detector (paper references [4], [76]).
+
+The paper's related work lists PCA-based detection among the classic
+data-mining methods (project onto a low-dimensional subspace fitted on
+normal data; score by the deviation along — mostly — the discarded
+directions).  Not part of the benchmarked nine, but a useful extra
+comparator and a good sanity baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeseries.mts import MultivariateTimeSeries
+from ..timeseries.normalization import StandardScaler
+from .base import AnomalyDetector, normalize_scores
+
+
+class PCADetector(AnomalyDetector):
+    """Score time points by squared reconstruction error after PCA.
+
+    Parameters
+    ----------
+    variance_fraction:
+        Keep the smallest number of principal components explaining at
+        least this fraction of training variance.
+    """
+
+    name = "PCA"
+    deterministic = True
+
+    def __init__(self, variance_fraction: float = 0.9):
+        if not 0.0 < variance_fraction <= 1.0:
+            raise ValueError(
+                f"variance_fraction must be in (0, 1], got {variance_fraction}"
+            )
+        self.variance_fraction = variance_fraction
+        self._scaler: StandardScaler | None = None
+        self._components: np.ndarray | None = None
+
+    @property
+    def n_components(self) -> int | None:
+        """Retained component count after fit (None before)."""
+        return None if self._components is None else self._components.shape[0]
+
+    def fit(self, train: MultivariateTimeSeries) -> "PCADetector":
+        self._scaler = StandardScaler.fit(train.values)
+        points = self._scaler.transform(train.values).T  # (T, n)
+        centered = points - points.mean(axis=0)
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        explained = singular**2
+        ratio = np.cumsum(explained) / max(explained.sum(), 1e-12)
+        keep = int(np.searchsorted(ratio, self.variance_fraction) + 1)
+        keep = min(keep, vt.shape[0])
+        self._components = vt[:keep]
+        return self
+
+    def score(self, test: MultivariateTimeSeries) -> np.ndarray:
+        self._require_fitted("_components")
+        points = self._scaler.transform(test.values).T
+        projected = points @ self._components.T @ self._components
+        residual = points - projected
+        return normalize_scores(np.sum(residual * residual, axis=1))

@@ -1,0 +1,114 @@
+"""Factory for the paper's ten methods (CAD + nine baselines).
+
+``make_detector(name, seed=..., ...)`` builds a ready-to-fit detector with
+the paper's settings.  Stochastic methods take the seed; deterministic
+methods ignore it (their output never varies — Table VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.config import CADConfig
+from .base import AnomalyDetector
+from .cad_adapter import CADDetector
+from .ecod import ECOD
+from .hbos import HBOS
+from .iforest import IsolationForest
+from .lof import LOF
+from .norma import NormA
+from .pca import PCADetector
+from .rcoders import RCoders
+from .s2g import Series2Graph
+from .sand import SAND, StreamingSAND
+from .univariate import UnivariateAdapter
+from .usad import USAD
+
+#: Order used throughout the paper's tables.
+METHOD_NAMES = (
+    "CAD",
+    "LOF",
+    "ECOD",
+    "IForest",
+    "USAD",
+    "RCoders",
+    "S2G",
+    "SAND",
+    "SAND*",
+    "NormA",
+)
+
+MTS_METHOD_NAMES = ("CAD", "LOF", "ECOD", "IForest", "USAD", "RCoders")
+UTS_METHOD_NAMES = ("S2G", "SAND", "SAND*", "NormA")
+
+#: Extra comparators beyond the paper's nine (related-work classics).
+EXTRA_METHOD_NAMES = ("PCA", "HBOS")
+
+
+def make_detector(
+    name: str,
+    seed: int = 0,
+    cad_config: CADConfig | None = None,
+) -> AnomalyDetector:
+    """Build one of the paper's methods by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`METHOD_NAMES`.
+    seed:
+        Seed for stochastic methods (IForest, USAD, RCoders, SAND, SAND*,
+        NormA); ignored by the deterministic ones.
+    cad_config:
+        Optional explicit CAD configuration (otherwise suggested from the
+        training data at fit time).
+    """
+    if name == "CAD":
+        return CADDetector(config=cad_config)
+    if name == "LOF":
+        return LOF()
+    if name == "PCA":
+        return PCADetector()
+    if name == "HBOS":
+        return HBOS()
+    if name == "ECOD":
+        return ECOD()
+    if name == "IForest":
+        return IsolationForest(seed=seed)
+    if name == "USAD":
+        return USAD(seed=seed)
+    if name == "RCoders":
+        return RCoders(seed=seed)
+    if name == "S2G":
+        return UnivariateAdapter(
+            lambda pattern, _i: Series2Graph(pattern_length=pattern),
+            name="S2G",
+            deterministic=True,
+        )
+    if name == "SAND":
+        return UnivariateAdapter(
+            lambda pattern, i: SAND(pattern_length=pattern, seed=seed * 1000 + i),
+            name="SAND",
+            deterministic=False,
+        )
+    if name == "SAND*":
+        return UnivariateAdapter(
+            lambda pattern, i: StreamingSAND(pattern_length=pattern, seed=seed * 1000 + i),
+            name="SAND*",
+            deterministic=False,
+        )
+    if name == "NormA":
+        return UnivariateAdapter(
+            lambda pattern, i: NormA(pattern_length=pattern, seed=seed * 1000 + i),
+            name="NormA",
+            deterministic=False,
+        )
+    raise KeyError(
+        f"unknown method {name!r}; known: "
+        f"{', '.join(METHOD_NAMES + EXTRA_METHOD_NAMES)}"
+    )
+
+
+def deterministic_methods() -> tuple[str, ...]:
+    """The four deterministic methods of Table VIII."""
+    return ("CAD", "LOF", "ECOD", "S2G")

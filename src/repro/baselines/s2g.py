@@ -1,0 +1,123 @@
+"""Series2Graph (Boniol & Palpanas, paper reference [13]) — simplified.
+
+S2G embeds overlapping subsequences, summarises the embedding trajectory as
+a graph whose nodes are recurring states and whose edge weights count
+observed transitions, then scores a subsequence by how well-trodden its
+path is: rare transitions mean anomalies.
+
+This reproduction keeps that pipeline in a compact, deterministic form
+(DESIGN.md §3):
+
+1. subsequences of length ``l`` (stride 1) are smoothed and projected onto
+   their first two principal components (PCA fitted on the training
+   segment so scoring is stable);
+2. each subsequence becomes a node id by quantising the angle of its
+   (PC1, PC2) point into ``n_bins`` sectors across ``n_rings`` radial
+   bands;
+3. consecutive subsequences add weight to the directed edge between their
+   nodes, with the graph built on the scored series itself (S2G is
+   unsupervised on its input);
+4. the normality of position ``t`` averages the edge weights along the
+   local path; the anomaly score is the inverted, normalised normality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .univariate import UnivariateDetector, subsequences
+
+
+def _smooth(series: np.ndarray, width: int) -> np.ndarray:
+    if width <= 1:
+        return series
+    kernel = np.ones(width) / width
+    return np.convolve(series, kernel, mode="same")
+
+
+class Series2Graph(UnivariateDetector):
+    """Graph-based subsequence anomaly scoring for one series."""
+
+    name = "S2G"
+    deterministic = True
+
+    def __init__(
+        self,
+        pattern_length: int = 32,
+        n_bins: int = 36,
+        n_rings: int = 3,
+        smooth_width: int = 3,
+    ):
+        if pattern_length < 4:
+            raise ValueError(f"pattern_length must be >= 4, got {pattern_length}")
+        if n_bins < 4 or n_rings < 1:
+            raise ValueError("need n_bins >= 4 and n_rings >= 1")
+        self.pattern_length = pattern_length
+        self.n_bins = n_bins
+        self.n_rings = n_rings
+        self.smooth_width = smooth_width
+        self._components: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._radius_edges: np.ndarray | None = None
+
+    def fit(self, train: np.ndarray) -> "Series2Graph":
+        train = _smooth(np.asarray(train, dtype=np.float64), self.smooth_width)
+        if train.size <= self.pattern_length + 2:
+            raise ValueError("training series too short for the pattern length")
+        subs = subsequences(train, self.pattern_length)
+        self._mean = subs.mean(axis=0)
+        centered = subs - self._mean
+        # Deterministic PCA via SVD; sign fixed by the largest component.
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        components = vt[:2]
+        for i in range(2):
+            pivot = np.argmax(np.abs(components[i]))
+            if components[i, pivot] < 0:
+                components[i] = -components[i]
+        self._components = components
+        projected = centered @ components.T
+        radius = np.hypot(projected[:, 0], projected[:, 1])
+        quantiles = np.linspace(0, 1, self.n_rings + 1)[1:-1]
+        self._radius_edges = (
+            np.quantile(radius, quantiles) if quantiles.size else np.empty(0)
+        )
+        return self
+
+    def _node_ids(self, series: np.ndarray) -> np.ndarray:
+        subs = subsequences(series, self.pattern_length)
+        projected = (subs - self._mean) @ self._components.T
+        angle = np.arctan2(projected[:, 1], projected[:, 0])
+        sector = ((angle + np.pi) / (2 * np.pi) * self.n_bins).astype(int)
+        sector = np.clip(sector, 0, self.n_bins - 1)
+        radius = np.hypot(projected[:, 0], projected[:, 1])
+        ring = np.searchsorted(self._radius_edges, radius)
+        return ring * self.n_bins + sector
+
+    def score(self, test: np.ndarray) -> np.ndarray:
+        if self._components is None:
+            raise RuntimeError("S2G: fit() must be called before score()")
+        test = _smooth(np.asarray(test, dtype=np.float64), self.smooth_width)
+        nodes = self._node_ids(test)
+        n_nodes = self.n_bins * self.n_rings
+        weights = np.zeros((n_nodes, n_nodes))
+        for a, b in zip(nodes[:-1], nodes[1:]):
+            weights[a, b] += 1.0
+
+        # Normality of each transition; rare transitions score low.
+        transition = weights[nodes[:-1], nodes[1:]]
+        # Average transition weight over the subsequence-length local path.
+        window = self.pattern_length
+        kernel = np.ones(window) / window
+        path_normality = np.convolve(transition, kernel, mode="same")
+
+        # Back to per-point scores: a point inherits the worst (most
+        # anomalous) normality of the transitions around it.
+        scores = np.zeros(test.size)
+        counts = np.zeros(test.size)
+        anomaly = 1.0 / (1.0 + path_normality)
+        for offset, value in enumerate(anomaly):
+            stop = min(offset + window, test.size)
+            segment = slice(offset, stop)
+            np.maximum(scores[segment], value, out=scores[segment])
+            counts[segment] += 1
+        return scores

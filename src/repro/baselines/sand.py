@@ -1,0 +1,176 @@
+"""SAND and its online variant SAND* (Boniol et al., paper reference [14]).
+
+SAND maintains a weighted set of subsequence centroids obtained with
+k-Shape clustering and scores each subsequence by its shape-based distance
+to the nearest centroid.  The offline variant clusters the training
+segment once; SAND* keeps updating the centroid set batch by batch with an
+update rate ``alpha``, merging each batch's clusters into the nearest
+existing centroid (weighted SBD-aligned average) or adding new ones.
+
+Simplifications versus the original (DESIGN.md §3): scoring uses the
+plain nearest-centroid SBD (weights drive the updates, not the score), and
+subsequences are sampled with a stride of ``pattern_length // 4`` for
+tractability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.kshape import kshape
+from ..clustering.sbd import sbd, sbd_to_reference, shift_series
+from ..timeseries.normalization import zscore
+from .univariate import UnivariateDetector, spread_to_points, subsequences
+
+
+class SAND(UnivariateDetector):
+    """Offline SAND: k-Shape centroids from the training segment."""
+
+    name = "SAND"
+    deterministic = False
+
+    def __init__(
+        self,
+        pattern_length: int = 32,
+        n_clusters: int = 4,
+        seed: int = 0,
+        max_train_subsequences: int = 250,
+    ):
+        if pattern_length < 4:
+            raise ValueError(f"pattern_length must be >= 4, got {pattern_length}")
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.pattern_length = pattern_length
+        self.n_clusters = n_clusters
+        self.seed = seed
+        self.max_train_subsequences = max_train_subsequences
+        self._centroids: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    @property
+    def stride(self) -> int:
+        return max(1, self.pattern_length // 4)
+
+    def _training_subsequences(self, series: np.ndarray) -> np.ndarray:
+        subs = subsequences(series, self.pattern_length, self.stride)
+        if subs.shape[0] > self.max_train_subsequences:
+            idx = np.linspace(0, subs.shape[0] - 1, self.max_train_subsequences).astype(int)
+            subs = subs[idx]
+        return np.vstack([zscore(row) for row in subs])
+
+    def fit(self, train: np.ndarray) -> "SAND":
+        subs = self._training_subsequences(np.asarray(train, dtype=np.float64))
+        rng = np.random.default_rng(self.seed)
+        k = min(self.n_clusters, subs.shape[0])
+        result = kshape(subs, k, rng)
+        self._centroids = result.centroids
+        self._weights = np.bincount(result.labels, minlength=k).astype(np.float64)
+        return self
+
+    def _subsequence_scores(self, series: np.ndarray) -> np.ndarray:
+        subs = subsequences(series, self.pattern_length, self.stride)
+        normalised = np.vstack([zscore(row) for row in subs])
+        distance_matrix = np.column_stack(
+            [sbd_to_reference(normalised, c)[0] for c in self._centroids]
+        )
+        return distance_matrix.min(axis=1)
+
+    def score(self, test: np.ndarray) -> np.ndarray:
+        if self._centroids is None:
+            raise RuntimeError(f"{self.name}: fit() must be called before score()")
+        test = np.asarray(test, dtype=np.float64)
+        window_scores = self._subsequence_scores(test)
+        return spread_to_points(window_scores, test.size, self.pattern_length, self.stride)
+
+
+class StreamingSAND(SAND):
+    """SAND*: scores batches online, then folds them into the model.
+
+    Parameters
+    ----------
+    alpha:
+        Update rate for merging batch centroids into existing ones
+        (paper setting: 0.5).
+    batch_fraction:
+        Fraction of the test series per batch (paper setting: 0.1).
+    max_centroids:
+        Cap on the centroid set; the lightest centroid is evicted first.
+    """
+
+    name = "SAND*"
+    deterministic = False
+
+    def __init__(
+        self,
+        pattern_length: int = 32,
+        n_clusters: int = 4,
+        seed: int = 0,
+        alpha: float = 0.5,
+        batch_fraction: float = 0.1,
+        max_centroids: int = 16,
+        max_train_subsequences: int = 250,
+    ):
+        super().__init__(pattern_length, n_clusters, seed, max_train_subsequences)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 < batch_fraction <= 1.0:
+            raise ValueError(f"batch_fraction must be in (0, 1], got {batch_fraction}")
+        if max_centroids < n_clusters:
+            raise ValueError("max_centroids must be >= n_clusters")
+        self.alpha = alpha
+        self.batch_fraction = batch_fraction
+        self.max_centroids = max_centroids
+
+    def _merge_batch(self, batch_subs: np.ndarray, rng: np.random.Generator) -> None:
+        """Cluster a batch and fold its centroids into the model."""
+        k = min(self.n_clusters, batch_subs.shape[0])
+        if k < 1:
+            return
+        result = kshape(batch_subs, k, rng)
+        batch_weights = np.bincount(result.labels, minlength=k).astype(np.float64)
+        merge_threshold = 0.3  # SBD below which shapes are "the same"
+        centroids = list(self._centroids)
+        weights = list(self._weights)
+        for centroid, weight in zip(result.centroids, batch_weights):
+            if weight == 0:
+                continue
+            distances = [sbd(existing, centroid) for existing in centroids]
+            best = int(np.argmin([d for d, _ in distances]))
+            distance, shift = distances[best]
+            if distance <= merge_threshold:
+                aligned = shift_series(centroid, shift)
+                centroids[best] = (1 - self.alpha) * centroids[best] + self.alpha * aligned
+                weights[best] += weight
+            else:
+                centroids.append(centroid)
+                weights.append(weight)
+        while len(centroids) > self.max_centroids:
+            drop = int(np.argmin(weights))
+            centroids.pop(drop)
+            weights.pop(drop)
+        self._centroids = np.vstack(centroids)
+        self._weights = np.array(weights)
+
+    def score(self, test: np.ndarray) -> np.ndarray:
+        if self._centroids is None:
+            raise RuntimeError(f"{self.name}: fit() must be called before score()")
+        test = np.asarray(test, dtype=np.float64)
+        rng = np.random.default_rng(self.seed + 1)
+        batch_size = max(self.pattern_length * 2, int(test.size * self.batch_fraction))
+        points = np.zeros(test.size)
+        for start in range(0, test.size, batch_size):
+            stop = min(start + batch_size, test.size)
+            if stop - start <= self.pattern_length:
+                # Tail shorter than one subsequence: reuse the last score.
+                points[start:stop] = points[start - 1] if start else 0.0
+                continue
+            batch = test[start:stop]
+            window_scores = self._subsequence_scores(batch)
+            points[start:stop] = spread_to_points(
+                window_scores, stop - start, self.pattern_length, self.stride
+            )
+            batch_subs = np.vstack(
+                [zscore(r) for r in subsequences(batch, self.pattern_length, self.stride)]
+            )
+            self._merge_batch(batch_subs, rng)
+        return points

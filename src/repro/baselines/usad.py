@@ -1,0 +1,167 @@
+"""USAD (Audibert et al., paper reference [9]) on the numpy substrate.
+
+UnSupervised Anomaly Detection trains one encoder ``E`` with two decoders
+``D1``/``D2`` in a two-phase adversarial scheme over flattened sliding
+windows:
+
+* phase 1 (autoencoding): both ``AE1 = D1∘E`` and ``AE2 = D2∘E`` minimise
+  reconstruction error;
+* phase 2 (adversarial): ``AE2`` is trained to *distinguish* real windows
+  from ``AE1`` reconstructions while ``AE1`` tries to fool it.  Following
+  the paper, the epoch-n losses are ``(1/n)·||W - AE1(W)||² +
+  (1-1/n)·||W - AE2(AE1(W))||²`` for AE1 and ``(1/n)·||W - AE2(W)||² -
+  (1-1/n)·||W - AE2(AE1(W))||²`` for AE2.
+
+The anomaly score of a window is ``alpha·||W - AE1(W)||² +
+beta·||W - AE2(AE1(W))||²``; point scores take the max over the windows
+covering a point.  The original uses larger nets, GPU training and more
+epochs — this keeps the architecture and objectives while shrinking scale
+(DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neural.losses import per_row_squared_error
+from ..neural.mlp import MLP
+from ..neural.optim import Adam
+from ..neural.training import iterate_minibatches
+from ..timeseries.mts import MultivariateTimeSeries
+from ..timeseries.normalization import MinMaxScaler
+from .base import AnomalyDetector, normalize_scores
+
+
+def _window_rows(values: np.ndarray, window: int) -> np.ndarray:
+    """Flattened sliding windows, stride 1: shape (T - w + 1, n * w)."""
+    n, length = values.shape
+    if length < window:
+        raise ValueError(f"series of length {length} shorter than window {window}")
+    view = np.lib.stride_tricks.sliding_window_view(values, window, axis=1)
+    # view: (n, T - w + 1, w) -> (T - w + 1, n * w)
+    return view.transpose(1, 0, 2).reshape(length - window + 1, n * window)
+
+
+class USAD(AnomalyDetector):
+    """USAD with shared encoder and two adversarial decoders."""
+
+    name = "USAD"
+    deterministic = False
+
+    def __init__(
+        self,
+        window: int = 8,
+        latent: int = 16,
+        hidden: int = 64,
+        epochs: int = 15,
+        batch_size: int = 128,
+        lr: float = 1e-3,
+        alpha: float = 0.5,
+        beta: float = 0.5,
+        seed: int = 0,
+        max_train_windows: int = 4000,
+    ):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if abs(alpha + beta - 1.0) > 1e-9:
+            raise ValueError("alpha + beta must equal 1")
+        self.window = window
+        self.latent = latent
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.alpha = alpha
+        self.beta = beta
+        self.seed = seed
+        self.max_train_windows = max_train_windows
+        self._scaler: MinMaxScaler | None = None
+        self._encoder: MLP | None = None
+        self._decoder1: MLP | None = None
+        self._decoder2: MLP | None = None
+
+    def fit(self, train: MultivariateTimeSeries) -> "USAD":
+        rng = np.random.default_rng(self.seed)
+        self._scaler = MinMaxScaler.fit(train.values)
+        windows = _window_rows(self._scaler.transform(train.values), self.window)
+        if windows.shape[0] > self.max_train_windows:
+            idx = np.linspace(0, windows.shape[0] - 1, self.max_train_windows).astype(int)
+            windows = windows[idx]
+
+        dim = windows.shape[1]
+        self._encoder = MLP([dim, self.hidden, self.latent], rng, activation="relu")
+        self._decoder1 = MLP(
+            [self.latent, self.hidden, dim], rng, activation="relu",
+            output_activation="sigmoid",
+        )
+        self._decoder2 = MLP(
+            [self.latent, self.hidden, dim], rng, activation="relu",
+            output_activation="sigmoid",
+        )
+        opt1 = Adam(
+            self._encoder.parameters() + self._decoder1.parameters(),
+            self._encoder.gradients() + self._decoder1.gradients(),
+            lr=self.lr,
+        )
+        opt2 = Adam(
+            self._encoder.parameters() + self._decoder2.parameters(),
+            self._encoder.gradients() + self._decoder2.gradients(),
+            lr=self.lr,
+        )
+
+        for epoch in range(1, self.epochs + 1):
+            weight_new = 1.0 / epoch
+            weight_adv = 1.0 - weight_new
+            for batch in iterate_minibatches(windows, self.batch_size, rng):
+                size = batch.size
+
+                # --- AE1 update: reconstruct + fool AE2 -----------------
+                opt1.zero_grad()
+                z = self._encoder.forward(batch)
+                w1 = self._decoder1.forward(z)
+                z1 = self._encoder.forward(w1)
+                w2 = self._decoder2.forward(z1)
+                grad_w2 = weight_adv * 2.0 * (w2 - batch) / size
+                grad_w1_from_adv = self._encoder.backward(
+                    self._decoder2.backward(grad_w2)
+                )
+                # Re-run the first pass so cached activations match.
+                z = self._encoder.forward(batch)
+                w1 = self._decoder1.forward(z)
+                grad_w1 = weight_new * 2.0 * (w1 - batch) / size + grad_w1_from_adv
+                self._encoder.backward(self._decoder1.backward(grad_w1))
+                opt1.step()
+
+                # --- AE2 update: reconstruct real, expose AE1 fakes -----
+                opt2.zero_grad()
+                z = self._encoder.forward(batch)
+                w1 = self._decoder1.forward(z).copy()  # treated as constant
+                z2 = self._encoder.forward(batch)
+                w2_real = self._decoder2.forward(z2)
+                grad_real = weight_new * 2.0 * (w2_real - batch) / size
+                self._encoder.backward(self._decoder2.backward(grad_real))
+                z1 = self._encoder.forward(w1)
+                w2_fake = self._decoder2.forward(z1)
+                grad_fake = -weight_adv * 2.0 * (w2_fake - batch) / size
+                self._encoder.backward(self._decoder2.backward(grad_fake))
+                opt2.step()
+        return self
+
+    def score(self, test: MultivariateTimeSeries) -> np.ndarray:
+        self._require_fitted("_encoder")
+        scaled = self._scaler.transform(test.values)
+        windows = _window_rows(scaled, self.window)
+        z = self._encoder.forward(windows)
+        w1 = self._decoder1.forward(z)
+        w2 = self._decoder2.forward(self._encoder.forward(w1))
+        window_scores = self.alpha * per_row_squared_error(
+            w1, windows
+        ) + self.beta * per_row_squared_error(w2, windows)
+
+        # A window's score is assigned to every point it covers (max).
+        length = test.length
+        points = np.zeros(length)
+        for offset in range(self.window):
+            segment = slice(offset, offset + window_scores.size)
+            np.maximum(points[segment], window_scores, out=points[segment])
+        return normalize_scores(points)

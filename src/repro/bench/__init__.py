@@ -1,0 +1,25 @@
+"""Benchmark harness: cached experiment runner and table/series reporting."""
+
+from .reporting import emit, format_series, format_table
+from .runner import (
+    TABLE3_DATASETS,
+    MethodRun,
+    n_repeats,
+    probe_rc_level,
+    run_method,
+    run_repeats,
+    tuned_cad_config,
+)
+
+__all__ = [
+    "MethodRun",
+    "run_method",
+    "run_repeats",
+    "tuned_cad_config",
+    "probe_rc_level",
+    "n_repeats",
+    "TABLE3_DATASETS",
+    "emit",
+    "format_table",
+    "format_series",
+]

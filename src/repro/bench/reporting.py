@@ -1,0 +1,60 @@
+"""Plain-text tables and series for the benchmark output.
+
+Every benchmark prints the rows/series its paper table or figure reports
+and appends the same text to ``results/<name>.txt`` so the numbers survive
+the pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+RESULTS_DIR = Path("results")
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table; floats rendered with one decimal like the paper."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered)) if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """One figure series as aligned x/y columns."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_cell(x):>10}  {_cell(y)}")
+    return "\n".join(lines)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a benchmark's output and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        # Table-style one decimal for paper-scale values (e.g. "95.0"),
+        # three significant digits for small parameters (e.g. "0.01").
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)

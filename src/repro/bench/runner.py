@@ -1,0 +1,223 @@
+"""Experiment runner shared by every benchmark module.
+
+Running one method on one dataset is expensive (training, scoring, sweeps),
+and several paper tables reuse the same runs (Table III, Table V and
+Figure 5 all need every method's scores on the same four datasets).  The
+runner therefore memoises ``(method, dataset, seed)`` runs in memory and on
+disk under ``results/cache/`` — re-running a benchmark is free, and deleting
+the cache directory forces a clean recomputation.
+
+The number of repeats for stochastic methods defaults to 3 (the paper uses
+10; see EXPERIMENTS.md) and can be overridden with the ``REPRO_REPEATS``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines import make_detector
+from ..baselines.cad_adapter import CADDetector
+from ..core.config import CADConfig
+from ..datasets import Dataset, load_dataset
+from ..evaluation import best_f1
+
+#: Datasets of the paper's Table III / V / Fig. 5 (PSM, SWaT, IS-1, IS-2).
+TABLE3_DATASETS = ("psm-sim", "swat-sim", "is1-sim", "is2-sim")
+
+_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "results/cache"))
+_MEMORY_CACHE: dict[tuple[str, str, int], "MethodRun"] = {}
+
+
+def n_repeats() -> int:
+    """Repeats for stochastic methods (env override: REPRO_REPEATS)."""
+    return max(1, int(os.environ.get("REPRO_REPEATS", "3")))
+
+
+@dataclass(frozen=True)
+class MethodRun:
+    """One method's scores and timings on one dataset."""
+
+    method: str
+    dataset: str
+    seed: int
+    scores: np.ndarray
+    fit_seconds: float
+    score_seconds: float
+
+    def f1(self, labels: np.ndarray, mode: str) -> float:
+        return best_f1(self.scores, labels, mode)
+
+
+def probe_rc_level(dataset: Dataset, n_rounds: int = 24) -> float:
+    """Median normal-operation RC of the dataset's sensors.
+
+    The normal RC level scales with the typical community size over
+    ``n - 1`` (Definition 6), so a fixed theta cannot fit every sensor
+    count: a useful theta must sit just below this level.  The probe runs a
+    few warm-up rounds with ``theta = 1`` (outlier sets are irrelevant) and
+    reads the RC distribution.
+    """
+    from ..core.detector import CAD
+    from ..timeseries.windows import iter_windows
+
+    config = CADConfig.suggest(
+        dataset.test.length, dataset.n_sensors, k=dataset.recommended_k, theta=1.0
+    )
+    detector = CAD(config, dataset.n_sensors)
+    for index, window in enumerate(iter_windows(dataset.history, detector.spec)):
+        detector.process_window(window)
+        if index + 1 >= n_rounds:
+            break
+    rc = detector.last_rc
+    if rc is None:
+        raise ValueError("history too short to probe the RC level")
+    return float(np.median(rc))
+
+
+_THETA_CACHE: dict[str, float] = {}
+
+
+def tuned_cad_config(dataset: Dataset) -> CADConfig:
+    """Grid-search CAD's theta on the dataset, as the paper's protocol does.
+
+    The paper sweeps w, s, tau and theta per dataset (Section VI-A); theta
+    is by far the most dataset-sensitive knob — it must sit just below the
+    dataset's normal RC level, which scales with community size over
+    ``n - 1``.  The harness probes that level and sweeps theta over
+    fractions of it, keeping the best F1_DPA.  Deterministic, so the result
+    is stable across runs and cached (in memory and under the cache dir —
+    the sweep costs five full detection passes on the big datasets).
+    """
+    cached_theta = _load_cached_theta(dataset.name)
+    if cached_theta is not None:
+        return CADConfig.suggest(
+            dataset.test.length,
+            dataset.n_sensors,
+            k=dataset.recommended_k,
+            theta=cached_theta,
+        )
+    rc_level = probe_rc_level(dataset)
+    best_theta, best_value = None, -1.0
+    # The F1 peak sits just below the normal RC level; very wide networks
+    # get a narrower sweep because each pass is expensive.
+    fractions = (0.7, 0.85) if dataset.n_sensors >= 500 else (0.55, 0.7, 0.85, 1.0)
+    for fraction in fractions:
+        theta = min(0.95, max(0.01, fraction * rc_level))
+        config = CADConfig.suggest(
+            dataset.test.length,
+            dataset.n_sensors,
+            k=dataset.recommended_k,
+            theta=theta,
+        )
+        detector = CADDetector(config)
+        detector.fit(dataset.history)
+        value = best_f1(detector.score(dataset.test), dataset.labels, "dpa")
+        if value > best_value:
+            best_theta, best_value = theta, value
+    _store_cached_theta(dataset.name, best_theta)
+    return CADConfig.suggest(
+        dataset.test.length,
+        dataset.n_sensors,
+        k=dataset.recommended_k,
+        theta=best_theta,
+    )
+
+
+def _theta_path(dataset_name: str) -> Path:
+    return _CACHE_DIR / f"theta__{dataset_name}.txt"
+
+
+def _load_cached_theta(dataset_name: str) -> float | None:
+    if dataset_name in _THETA_CACHE:
+        return _THETA_CACHE[dataset_name]
+    path = _theta_path(dataset_name)
+    if not path.exists():
+        return None
+    theta = float(path.read_text().strip())
+    _THETA_CACHE[dataset_name] = theta
+    return theta
+
+
+def _store_cached_theta(dataset_name: str, theta: float) -> None:
+    _THETA_CACHE[dataset_name] = theta
+    _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    _theta_path(dataset_name).write_text(f"{theta!r}\n")
+
+
+def run_method(method: str, dataset_name: str, seed: int = 0) -> MethodRun:
+    """Fit + score one method on one dataset, with two-level caching."""
+    key = (method, dataset_name, seed)
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+    cached = _load_cached(key)
+    if cached is not None:
+        _MEMORY_CACHE[key] = cached
+        return cached
+
+    dataset = load_dataset(dataset_name)
+    if method == "CAD":
+        detector = make_detector(method, seed=seed, cad_config=tuned_cad_config(dataset))
+    else:
+        detector = make_detector(method, seed=seed)
+    start = time.perf_counter()
+    detector.fit(dataset.history)
+    fit_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    scores = detector.score(dataset.test)
+    score_seconds = time.perf_counter() - start
+
+    run = MethodRun(
+        method=method,
+        dataset=dataset_name,
+        seed=seed,
+        scores=scores,
+        fit_seconds=fit_seconds,
+        score_seconds=score_seconds,
+    )
+    _MEMORY_CACHE[key] = run
+    _store_cached(key, run)
+    return run
+
+
+def run_repeats(method: str, dataset_name: str, deterministic: bool) -> list[MethodRun]:
+    """All repeats of a method (one run when it is deterministic)."""
+    if deterministic:
+        return [run_method(method, dataset_name, seed=0)]
+    return [run_method(method, dataset_name, seed=s) for s in range(n_repeats())]
+
+
+def _cache_path(key: tuple[str, str, int]) -> Path:
+    method, dataset, seed = key
+    safe = method.replace("*", "star")
+    return _CACHE_DIR / f"{safe}__{dataset}__{seed}.npz"
+
+
+def _load_cached(key: tuple[str, str, int]) -> MethodRun | None:
+    path = _cache_path(key)
+    if not path.exists():
+        return None
+    with np.load(path) as archive:
+        return MethodRun(
+            method=key[0],
+            dataset=key[1],
+            seed=key[2],
+            scores=archive["scores"],
+            fit_seconds=float(archive["fit_seconds"]),
+            score_seconds=float(archive["score_seconds"]),
+        )
+
+
+def _store_cached(key: tuple[str, str, int], run: MethodRun) -> None:
+    _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        _cache_path(key),
+        scores=run.scores,
+        fit_seconds=run.fit_seconds,
+        score_seconds=run.score_seconds,
+    )

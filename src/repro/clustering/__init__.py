@@ -1,0 +1,17 @@
+"""Clustering substrate: SBD, k-Shape (for SAND), k-means (for NormA)."""
+
+from .kmeans import KMeansResult, kmeans
+from .kshape import KShapeResult, extract_shape, kshape
+from .sbd import cross_correlation, ncc_c, sbd, shift_series
+
+__all__ = [
+    "sbd",
+    "ncc_c",
+    "cross_correlation",
+    "shift_series",
+    "kshape",
+    "KShapeResult",
+    "extract_shape",
+    "kmeans",
+    "KMeansResult",
+]

@@ -1,0 +1,89 @@
+"""Euclidean k-means with k-means++ seeding (used by the NormA baseline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering outcome: centroids, labels, inertia, iteration count."""
+
+    centroids: np.ndarray  # (k, m)
+    labels: np.ndarray  # (n,)
+    inertia: float
+    n_iterations: int
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.centroids.shape[0])
+
+
+def _plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    n = data.shape[0]
+    centroids = np.empty((k, data.shape[1]))
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest = np.sum((data - centroids[0]) ** 2, axis=1)
+    for c in range(1, k):
+        total = closest.sum()
+        if total <= 1e-15:
+            centroids[c] = data[int(rng.integers(n))]
+            continue
+        probabilities = closest / total
+        choice = int(rng.choice(n, p=probabilities))
+        centroids[c] = data[choice]
+        distances = np.sum((data - centroids[c]) ** 2, axis=1)
+        np.minimum(closest, distances, out=closest)
+    return centroids
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 50,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Cluster the rows of ``data`` into ``k`` groups.
+
+    Empty clusters are re-seeded with the point farthest from its centroid.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"data must be (n, m), got shape {data.shape}")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, n], got k={k} n={n}")
+
+    centroids = _plus_plus_init(data, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    inertia = np.inf
+    for iteration in range(1, max_iterations + 1):
+        # Squared distances to all centroids at once.
+        distances = (
+            np.sum(data * data, axis=1)[:, None]
+            - 2.0 * data @ centroids.T
+            + np.sum(centroids * centroids, axis=1)[None, :]
+        )
+        labels = np.argmin(distances, axis=1)
+        new_inertia = float(distances[np.arange(n), labels].sum())
+
+        for c in range(k):
+            members = data[labels == c]
+            if members.shape[0] == 0:
+                worst = int(np.argmax(distances[np.arange(n), labels]))
+                centroids[c] = data[worst]
+                labels[worst] = c
+            else:
+                centroids[c] = members.mean(axis=0)
+
+        if abs(inertia - new_inertia) <= tolerance * max(1.0, abs(inertia)):
+            inertia = new_inertia
+            return KMeansResult(centroids, labels, inertia, iteration)
+        inertia = new_inertia
+    return KMeansResult(centroids, labels, inertia, max_iterations)

@@ -1,0 +1,107 @@
+"""k-Shape clustering (Paparrizos & Gravano, paper reference [63]).
+
+Used by the SAND baseline to maintain weighted subsequence centroids.
+Subsequences are z-normalised; assignment uses SBD; the centroid of a
+cluster is the *shape extraction*: the dominant eigenvector of the
+shift-aligned members' scatter matrix, projected off the constant component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries.normalization import zscore
+from .sbd import sbd, sbd_to_reference, shift_series
+
+
+@dataclass(frozen=True)
+class KShapeResult:
+    """Clustering outcome: centroids, labels and iteration count."""
+
+    centroids: np.ndarray  # (k, m)
+    labels: np.ndarray  # (n,)
+    n_iterations: int
+
+
+def extract_shape(members: np.ndarray, centroid: np.ndarray) -> np.ndarray:
+    """Shape extraction: the new centroid of ``members`` (rows, z-normed).
+
+    Members are first SBD-aligned to the current centroid; the centroid is
+    then the leading eigenvector of ``Q S Q`` with ``S`` the aligned scatter
+    matrix and ``Q`` the centering projector, sign-fixed to correlate
+    positively with the member mean.
+    """
+    if members.ndim != 2 or members.shape[0] == 0:
+        raise ValueError("members must be a non-empty (n, m) matrix")
+    m = members.shape[1]
+    if np.linalg.norm(centroid) <= 1e-12:
+        aligned = members
+    else:
+        _, shifts = sbd_to_reference(members, centroid)
+        aligned = np.vstack(
+            [shift_series(row, int(shift)) for row, shift in zip(members, shifts)]
+        )
+    scatter = aligned.T @ aligned
+    q = np.eye(m) - np.ones((m, m)) / m
+    matrix = q @ scatter @ q
+    # eigh returns ascending eigenvalues; the last eigenvector dominates.
+    _, vectors = np.linalg.eigh(matrix)
+    shape = vectors[:, -1]
+    reference = aligned.mean(axis=0)
+    if shape @ reference < 0:
+        shape = -shape
+    return zscore(shape)
+
+
+def kshape(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 12,
+) -> KShapeResult:
+    """Cluster the rows of ``data`` into ``k`` shape clusters.
+
+    Rows are z-normalised internally.  Empty clusters are re-seeded with the
+    sample farthest from its centroid, keeping ``k`` populated clusters.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"data must be (n, m), got shape {data.shape}")
+    n, m = data.shape
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, n], got k={k} n={n}")
+
+    normalised = np.vstack([zscore(row) for row in data])
+    labels = rng.integers(0, k, size=n)
+    centroids = np.zeros((k, m))
+
+    for iteration in range(1, max_iterations + 1):
+        # Refinement: recompute each cluster's shape.
+        for c in range(k):
+            members = normalised[labels == c]
+            if members.shape[0] == 0:
+                per_label = {
+                    label: sbd_to_reference(normalised, centroids[label])[0]
+                    for label in set(labels.tolist())
+                }
+                distances = np.array(
+                    [per_label[labels[i]][i] for i in range(n)]
+                )
+                farthest = int(np.argmax(distances))
+                centroids[c] = normalised[farthest]
+                labels[farthest] = c
+                members = normalised[labels == c]
+            centroids[c] = extract_shape(members, centroids[c])
+
+        # Assignment: nearest centroid by SBD (batched per centroid).
+        distance_matrix = np.column_stack(
+            [sbd_to_reference(normalised, centroids[c])[0] for c in range(k)]
+        )
+        new_labels = np.argmin(distance_matrix, axis=1)
+        if np.array_equal(new_labels, labels):
+            return KShapeResult(centroids=centroids, labels=labels, n_iterations=iteration)
+        labels = new_labels
+
+    return KShapeResult(centroids=centroids, labels=labels, n_iterations=max_iterations)

@@ -1,0 +1,35 @@
+"""CAD core: TSGs, co-appearance mining, variation analysis, the detector."""
+
+from .config import CADConfig
+from .coappearance import CoAppearanceTracker, coappearance_counts
+from .detector import CAD, assemble_anomalies, detect_anomalies
+from .postprocess import consolidate, drop_short, merge_nearby
+from .result import Anomaly, DetectionResult, RoundRecord
+from .rootcause import SensorCause, propagation_order, rank_root_causes
+from .streaming import StreamingCAD
+from .tsg import build_tsg, tsg_sequence
+from .variation import RunningMoments, outlier_set, outlier_variations
+
+__all__ = [
+    "CADConfig",
+    "CAD",
+    "StreamingCAD",
+    "detect_anomalies",
+    "assemble_anomalies",
+    "Anomaly",
+    "DetectionResult",
+    "RoundRecord",
+    "build_tsg",
+    "tsg_sequence",
+    "coappearance_counts",
+    "CoAppearanceTracker",
+    "outlier_set",
+    "outlier_variations",
+    "RunningMoments",
+    "rank_root_causes",
+    "propagation_order",
+    "SensorCause",
+    "merge_nearby",
+    "drop_short",
+    "consolidate",
+]

@@ -1,0 +1,134 @@
+"""Co-appearance mining across consecutive rounds (paper Section IV-C).
+
+Two vertices *co-appear* in round ``r`` when they share a community in both
+round ``r-1`` and round ``r`` (Definition 4).  The per-vertex co-appearance
+number ``S_r(v)`` counts co-appearing partners (Definition 5), and the ratio
+of co-appearance number ``RC_{v,r}`` averages ``S_i(v)`` over all rounds so
+far, normalised by ``n - 1`` (Definition 6).
+
+:class:`CoAppearanceTracker` is the stateful incarnation used by the
+detector: feed it one community labelling per round and it returns
+``(S_r, RC_r)`` vectors.  Besides the paper's running average it supports an
+exponentially decayed and a sliding-window RC (ablation hooks; DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+def coappearance_counts(previous_labels: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Vector of ``S_r(v)``: partners sharing v's community in both rounds.
+
+    A pair (v, u) co-appears iff ``previous_labels[v] == previous_labels[u]``
+    and ``labels[v] == labels[u]``.  Equivalently, group vertices by the
+    *pair* (previous community, current community); every vertex co-appears
+    with the other members of its pair-group.  That grouping makes the whole
+    computation O(n) instead of O(n^2).
+    """
+    previous_labels = np.asarray(previous_labels)
+    labels = np.asarray(labels)
+    if previous_labels.shape != labels.shape or labels.ndim != 1:
+        raise ValueError("label vectors must be 1-D and of equal length")
+
+    # Encode the (previous, current) pair as a single key.
+    n_current = int(labels.max()) + 1 if labels.size else 0
+    keys = previous_labels.astype(np.int64) * max(n_current, 1) + labels.astype(np.int64)
+    _, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+    return counts[inverse] - 1  # exclude the vertex itself
+
+
+class CoAppearanceTracker:
+    """Accumulates co-appearance statistics round by round.
+
+    Parameters
+    ----------
+    n_sensors:
+        Number of vertices n; RC is normalised by ``n - 1``.
+    mode:
+        ``"running"`` (paper, Definition 6), ``"decay"`` or ``"window"``.
+    decay:
+        Decay factor for ``mode="decay"``; each past round's contribution is
+        multiplied by ``decay`` per elapsed round.
+    window:
+        History length for ``mode="window"``.
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        mode: str = "running",
+        decay: float = 0.95,
+        window: int = 50,
+    ):
+        if n_sensors < 2:
+            raise ValueError("co-appearance needs at least 2 sensors")
+        if mode not in ("running", "decay", "window"):
+            raise ValueError(f"unknown RC mode: {mode!r}")
+        self._n = n_sensors
+        self._mode = mode
+        self._decay = decay
+        self._window = window
+        self._previous_labels: np.ndarray | None = None
+        self._rounds = 0  # number of S_i vectors accumulated
+        self._sum = np.zeros(n_sensors)
+        self._decay_weight = 0.0
+        self._history: deque[np.ndarray] = deque(maxlen=window)
+        self._last_rc: np.ndarray | None = None
+
+    @property
+    def rounds_seen(self) -> int:
+        """Number of rounds for which ``S_r`` was computable (>= 1 prior)."""
+        return self._rounds
+
+    @property
+    def last_rc(self) -> np.ndarray | None:
+        """RC vector of the most recent round (None before round 2).
+
+        Useful for calibrating ``theta``: the normal RC level scales with
+        the typical community size over ``n - 1``.
+        """
+        return None if self._last_rc is None else self._last_rc.copy()
+
+    def update(self, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+        """Feed one round's community labels.
+
+        Returns ``(S_r, RC_r)`` for this round, or ``None`` for the very
+        first round (no previous communities to compare against).
+        """
+        labels = np.asarray(labels)
+        if labels.shape != (self._n,):
+            raise ValueError(
+                f"expected {self._n} community labels, got shape {labels.shape}"
+            )
+        if self._previous_labels is None:
+            self._previous_labels = labels.copy()
+            return None
+
+        s_r = coappearance_counts(self._previous_labels, labels).astype(np.float64)
+        self._previous_labels = labels.copy()
+        self._rounds += 1
+
+        if self._mode == "running":
+            self._sum += s_r
+            rc = self._sum / (self._rounds * (self._n - 1))
+        elif self._mode == "decay":
+            self._sum = self._decay * self._sum + s_r
+            self._decay_weight = self._decay * self._decay_weight + 1.0
+            rc = self._sum / (self._decay_weight * (self._n - 1))
+        else:  # window
+            self._history.append(s_r)
+            rc = np.mean(self._history, axis=0) / (self._n - 1)
+        self._last_rc = rc
+        return s_r, rc
+
+    def reset(self) -> None:
+        """Forget all state (labels, sums, history)."""
+        self._previous_labels = None
+        self._rounds = 0
+        self._sum = np.zeros(self._n)
+        self._decay_weight = 0.0
+        self._history.clear()
+        self._last_rc = None

@@ -1,0 +1,291 @@
+"""The CAD detector (paper Algorithms 1 and 2).
+
+:class:`CAD` is stateful: a warm-up pass over historical data populates the
+``n_r`` statistics (and the co-appearance history), then :meth:`detect`
+processes the live series round by round, flagging a round abnormal when
+``|n_r - mu| >= eta * sigma`` (eta = 3 by default).  Consecutive abnormal
+rounds are merged into anomalies whose sensor set is the union of the
+rounds' outlier sets.
+
+The same per-round machinery is exposed as :meth:`process_window` for
+streaming use (Section IV-F): hand it each new window as it materialises and
+read the returned :class:`RoundRecord`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..graph import absolute_weight_graph, label_propagation, louvain
+from ..timeseries.mts import MultivariateTimeSeries
+from ..timeseries.windows import WindowSpec, iter_windows
+from .config import CADConfig
+from .coappearance import CoAppearanceTracker
+from .result import Anomaly, DetectionResult, RoundRecord
+from .tsg import build_tsg
+from .variation import RunningMoments, outlier_set, transition_set
+
+
+class CAD:
+    """Correlation-analysis-based anomaly detector.
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters; see :class:`CADConfig`.
+    n_sensors:
+        Number of sensors the detector will observe.  Fixed up front because
+        TSGs share one vertex set across rounds.
+    """
+
+    def __init__(self, config: CADConfig, n_sensors: int):
+        if n_sensors < 2:
+            raise ValueError("CAD needs at least 2 sensors")
+        self.config = config
+        self.n_sensors = n_sensors
+        self._k = config.effective_k(n_sensors)
+        self._tracker = CoAppearanceTracker(
+            n_sensors,
+            mode=config.rc_mode,
+            decay=config.rc_decay,
+            window=config.rc_window,
+        )
+        self._moments = RunningMoments()
+        self._previous_outliers: frozenset[int] = frozenset()
+        self._rounds_processed = 0
+
+    @property
+    def spec(self) -> WindowSpec:
+        """The (window, step) pair used to partition series."""
+        return WindowSpec(self.config.window, self.config.step)
+
+    @property
+    def rounds_processed(self) -> int:
+        """Total rounds seen so far (warm-up plus detection)."""
+        return self._rounds_processed
+
+    @property
+    def moments(self) -> tuple[float, float]:
+        """Current ``(mu, sigma)`` of the ``n_r`` history."""
+        return self._moments.snapshot()
+
+    @property
+    def last_rc(self) -> np.ndarray | None:
+        """RC vector of the most recent round (for theta calibration)."""
+        return self._tracker.last_rc
+
+    # ----------------------------------------------------------------- #
+    # Algorithm 1: per-round outlier detection
+    # ----------------------------------------------------------------- #
+
+    def _outlier_detection(
+        self, window_values: np.ndarray
+    ) -> tuple[frozenset[int], frozenset[int], int]:
+        """One round of Algorithm 1.
+
+        Returns ``(O_r, transitions, c_r)``: the outlier set, the vertices
+        entering/leaving it (whose count is ``n_r``), and the number of
+        communities found.
+        """
+        window_values = np.asarray(window_values, dtype=np.float64)
+        if window_values.shape != (self.n_sensors, self.config.window):
+            raise ValueError(
+                f"expected window of shape ({self.n_sensors}, {self.config.window}), "
+                f"got {window_values.shape}"
+            )
+        tsg = build_tsg(window_values, self._k, self.config.tau)
+        detect_communities = (
+            louvain if self.config.community_method == "louvain" else label_propagation
+        )
+        partition = detect_communities(absolute_weight_graph(tsg))
+        update = self._tracker.update(np.array(partition.labels))
+
+        if update is None:
+            outliers: frozenset[int] = frozenset()
+        else:
+            _, rc = update
+            outliers = outlier_set(rc, self.config.theta)
+
+        if self.config.variation_sides == "both":
+            transitions = transition_set(self._previous_outliers, outliers)
+        else:  # "enter": only vertices newly becoming outliers
+            transitions = frozenset(outliers - self._previous_outliers)
+        self._previous_outliers = outliers
+        self._rounds_processed += 1
+        return outliers, transitions, partition.n_communities
+
+    # ----------------------------------------------------------------- #
+    # Warm-up (Algorithm 2, WarmUp)
+    # ----------------------------------------------------------------- #
+
+    def warm_up(self, history: MultivariateTimeSeries) -> list[int]:
+        """Process historical data to seed ``mu`` and ``sigma``.
+
+        Returns the ``n_r`` series observed during warm-up (diagnostics).
+        The co-appearance tracker, outlier state and moments all carry over
+        into detection, exactly as in Algorithm 2.
+        """
+        self._check_sensors(history)
+        variations = []
+        for window_values in iter_windows(history, self.spec):
+            _, transitions, _ = self._outlier_detection(window_values)
+            self._moments.push(len(transitions))
+            variations.append(len(transitions))
+        return variations
+
+    # ----------------------------------------------------------------- #
+    # Detection (Algorithm 2, main loop)
+    # ----------------------------------------------------------------- #
+
+    def detect(self, series: MultivariateTimeSeries) -> DetectionResult:
+        """Run anomaly detection over ``series`` and return the result."""
+        self._check_sensors(series)
+        spec = self.spec
+        records = [
+            self.process_window(window_values)
+            for window_values in iter_windows(series, spec)
+        ]
+        # Re-index records relative to this detection segment.
+        base = records[0].index if records else 0
+        rebased = [
+            RoundRecord(
+                index=record.index - base,
+                start=spec.round_span(record.index - base)[0],
+                stop=spec.round_span(record.index - base)[1],
+                n_variations=record.n_variations,
+                mean=record.mean,
+                std=record.std,
+                deviation=record.deviation,
+                abnormal=record.abnormal,
+                outliers=record.outliers,
+                variations=record.variations,
+                n_communities=record.n_communities,
+            )
+            for record in records
+        ]
+        anomalies = assemble_anomalies(
+            rebased, spec, attribution=self.config.sensor_attribution
+        )
+        return DetectionResult(
+            anomalies, rebased, spec, series.length, self.n_sensors
+        )
+
+    def process_window(self, window_values: np.ndarray) -> RoundRecord:
+        """Streaming entry point: score one newly materialised window.
+
+        Repeats lines 6–13 of Algorithm 2 for a single round and returns its
+        :class:`RoundRecord`.  Round indices continue across calls (and
+        across the warm-up), so the record's ``start``/``stop`` describe the
+        position in the full stream seen so far.
+        """
+        index = self._rounds_processed  # global round index before this call
+        outliers, transitions, n_communities = self._outlier_detection(window_values)
+        n_r = len(transitions)
+        mean, std = self._moments.snapshot()
+        sigma = max(std, self.config.min_sigma)
+        deviation = abs(n_r - mean) / (self.config.eta * sigma)
+        # A round can only be judged once some history exists (paper line 7:
+        # r > 1; with a warm-up the moments already carry history).
+        judgeable = self._moments.count >= 2
+        abnormal = judgeable and deviation >= 1.0
+        self._moments.push(n_r)
+
+        start, stop = self.spec.round_span(index)
+        return RoundRecord(
+            index=index,
+            start=start,
+            stop=stop,
+            n_variations=n_r,
+            mean=mean,
+            std=std,
+            deviation=deviation if judgeable else 0.0,
+            abnormal=abnormal,
+            outliers=outliers,
+            variations=transitions,
+            n_communities=n_communities,
+        )
+
+    def reset(self) -> None:
+        """Forget all accumulated state (tracker, outliers, moments)."""
+        self._tracker.reset()
+        self._moments = RunningMoments()
+        self._previous_outliers = frozenset()
+        self._rounds_processed = 0
+
+    def _check_sensors(self, series: MultivariateTimeSeries) -> None:
+        if series.n_sensors != self.n_sensors:
+            raise ValueError(
+                f"detector configured for {self.n_sensors} sensors, "
+                f"series has {series.n_sensors}"
+            )
+
+
+def assemble_anomalies(
+    records: Iterable[RoundRecord],
+    spec: WindowSpec,
+    attribution: str = "transitions",
+) -> list[Anomaly]:
+    """Merge consecutive abnormal rounds into anomalies (Algorithm 2, lines 7-11).
+
+    ``attribution`` selects the sensors each abnormal round contributes:
+    its transition vertices (``"transitions"``, Definitions 2-3) or its full
+    outlier set (``"outliers"``, the literal Algorithm 2 rule).  An
+    anomaly's point span runs from the first fresh point of its first round
+    to the end of its last round's window.
+    """
+    if attribution not in ("transitions", "outliers"):
+        raise ValueError(
+            f"attribution must be 'transitions' or 'outliers', got {attribution!r}"
+        )
+    anomalies: list[Anomaly] = []
+    current_rounds: list[int] = []
+    current_sensors: set[int] = set()
+
+    def flush() -> None:
+        if not current_rounds:
+            return
+        start = spec.fresh_span(current_rounds[0])[0]
+        stop = spec.round_span(current_rounds[-1])[1]
+        anomalies.append(
+            Anomaly(
+                sensors=frozenset(current_sensors),
+                rounds=tuple(current_rounds),
+                start=start,
+                stop=stop,
+            )
+        )
+        current_rounds.clear()
+        current_sensors.clear()
+
+    for record in records:
+        if record.abnormal:
+            current_rounds.append(record.index)
+            if attribution == "transitions":
+                current_sensors |= record.variations
+            else:
+                current_sensors |= record.outliers
+        else:
+            flush()
+    flush()
+    return anomalies
+
+
+def detect_anomalies(
+    series: MultivariateTimeSeries,
+    history: MultivariateTimeSeries | None = None,
+    config: CADConfig | None = None,
+) -> DetectionResult:
+    """One-call convenience wrapper around :class:`CAD`.
+
+    Builds a detector (with :meth:`CADConfig.suggest` defaults when no
+    config is given), warms it up on ``history`` if provided, and detects
+    over ``series``.
+    """
+    if config is None:
+        config = CADConfig.suggest(series.length, series.n_sensors)
+    detector = CAD(config, series.n_sensors)
+    if history is not None:
+        detector.warm_up(history)
+    return detector.detect(series)

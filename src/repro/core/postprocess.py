@@ -1,0 +1,63 @@
+"""Post-processing of detected anomalies for operator-facing output.
+
+CAD's raw output can contain several short bursts around one physical fault
+(onset spike, propagation spikes, recovery spike).  Operators usually want
+one ticket per fault, so this module offers:
+
+* :func:`merge_nearby` — fuse anomalies whose gap is at most ``max_gap``
+  rounds (their sensor sets union);
+* :func:`drop_short` — discard anomalies shorter than ``min_rounds`` rounds
+  (single-round blips are often noise).
+
+Both return new anomaly lists; the :class:`DetectionResult` is not mutated,
+so evaluation on the raw output stays possible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..timeseries.windows import WindowSpec
+from .result import Anomaly
+
+
+def merge_nearby(
+    anomalies: Sequence[Anomaly], spec: WindowSpec, max_gap: int = 2
+) -> list[Anomaly]:
+    """Fuse anomalies separated by at most ``max_gap`` normal rounds."""
+    if max_gap < 0:
+        raise ValueError(f"max_gap must be >= 0, got {max_gap}")
+    ordered = sorted(anomalies, key=lambda a: a.rounds[0])
+    merged: list[Anomaly] = []
+    for anomaly in ordered:
+        if merged and anomaly.rounds[0] - merged[-1].rounds[-1] - 1 <= max_gap:
+            previous = merged.pop()
+            rounds = tuple(range(previous.rounds[0], anomaly.rounds[-1] + 1))
+            merged.append(
+                Anomaly(
+                    sensors=previous.sensors | anomaly.sensors,
+                    rounds=rounds,
+                    start=spec.fresh_span(rounds[0])[0],
+                    stop=spec.round_span(rounds[-1])[1],
+                )
+            )
+        else:
+            merged.append(anomaly)
+    return merged
+
+
+def drop_short(anomalies: Sequence[Anomaly], min_rounds: int = 2) -> list[Anomaly]:
+    """Discard anomalies spanning fewer than ``min_rounds`` rounds."""
+    if min_rounds < 1:
+        raise ValueError(f"min_rounds must be >= 1, got {min_rounds}")
+    return [anomaly for anomaly in anomalies if anomaly.n_rounds >= min_rounds]
+
+
+def consolidate(
+    anomalies: Sequence[Anomaly],
+    spec: WindowSpec,
+    max_gap: int = 2,
+    min_rounds: int = 2,
+) -> list[Anomaly]:
+    """merge_nearby then drop_short — the usual operator pipeline."""
+    return drop_short(merge_nearby(anomalies, spec, max_gap), min_rounds)

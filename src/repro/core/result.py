@@ -1,0 +1,172 @@
+"""Result types produced by the CAD detector.
+
+An :class:`Anomaly` is the paper's ``Z = (V_Z, R_Z)`` — the affected sensors
+and the consecutive abnormal rounds (Definition 1).  A
+:class:`DetectionResult` additionally keeps the per-round diagnostics
+(:class:`RoundRecord`) and knows how to project round-level decisions back to
+point-level labels and scores, which is what the evaluation protocol
+(threshold grid search, PA/DPA, VUS) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..timeseries.windows import WindowSpec
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected anomaly ``Z = (V_Z, R_Z)``.
+
+    Attributes
+    ----------
+    sensors:
+        Indices of the affected sensors (union of the outlier sets of the
+        abnormal rounds).
+    rounds:
+        The consecutive abnormal round indices, 0-based within the detection
+        segment.
+    start, stop:
+        Half-open point span ``[start, stop)`` the anomaly covers in the
+        detection series: from the first fresh point of the first abnormal
+        round to the end of the last abnormal round's window.
+    """
+
+    sensors: frozenset[int]
+    rounds: tuple[int, ...]
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not self.rounds:
+            raise ValueError("an anomaly must cover at least one round")
+        if list(self.rounds) != list(range(self.rounds[0], self.rounds[-1] + 1)):
+            raise ValueError(f"anomaly rounds must be consecutive, got {self.rounds}")
+        if not self.start < self.stop:
+            raise ValueError(f"invalid span [{self.start}, {self.stop})")
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Diagnostics of one detection round.
+
+    ``mean``/``std`` are the moments of the ``n_r`` history *before* this
+    round's value was appended — exactly what Algorithm 2 compares against.
+    ``deviation`` is ``|n_r - mean| / (eta * max(std, min_sigma))`` so that
+    ``deviation >= 1`` is the paper's abnormality rule.
+    """
+
+    index: int
+    start: int
+    stop: int
+    n_variations: int
+    mean: float
+    std: float
+    deviation: float
+    abnormal: bool
+    outliers: frozenset[int]
+    variations: frozenset[int]
+    n_communities: int
+
+
+class DetectionResult:
+    """Anomalies plus per-round diagnostics for one detection run."""
+
+    def __init__(
+        self,
+        anomalies: Sequence[Anomaly],
+        rounds: Sequence[RoundRecord],
+        spec: WindowSpec,
+        length: int,
+        n_sensors: int,
+    ):
+        self.anomalies = list(anomalies)
+        self.rounds = list(rounds)
+        self.spec = spec
+        self.length = length
+        self.n_sensors = n_sensors
+
+    @property
+    def n_anomalies(self) -> int:
+        return len(self.anomalies)
+
+    def abnormal_sensors(self) -> frozenset[int]:
+        """Union of the affected sensors over all detected anomalies."""
+        sensors: set[int] = set()
+        for anomaly in self.anomalies:
+            sensors |= anomaly.sensors
+        return frozenset(sensors)
+
+    def point_labels(self, mark: str = "fresh") -> np.ndarray:
+        """Binary per-point prediction from the 3-sigma round decisions.
+
+        Parameters
+        ----------
+        mark:
+            ``"fresh"`` (default) marks only the points each abnormal round
+            newly introduced (its trailing ``step`` slice; the whole window
+            for round 0).  The correlation change that triggers an alarm is
+            driven by the points entering the window, so this avoids
+            predicting time points *before* the data that caused the alarm.
+            ``"window"`` marks the full window span of each abnormal round
+            (ablation).
+        """
+        if mark not in ("fresh", "window"):
+            raise ValueError(f"mark must be 'fresh' or 'window', got {mark!r}")
+        labels = np.zeros(self.length, dtype=np.int8)
+        for record in self.rounds:
+            if not record.abnormal:
+                continue
+            if mark == "fresh":
+                start, stop = self.spec.fresh_span(record.index)
+            else:
+                start, stop = record.start, record.stop
+            labels[start : min(stop, self.length)] = 1
+        return labels
+
+    def point_scores(self, mark: str = "fresh") -> np.ndarray:
+        """Per-point anomaly score in [0, 1).
+
+        Each round's deviation ``d`` is squashed with ``d / (1 + d)`` — a
+        monotone map, so rank-based metrics (ROC/PR, threshold sweeps) are
+        unaffected — and every point takes the maximum over the rounds that
+        marked it.  A score of 0.5 corresponds exactly to the paper's
+        ``|n_r - mu| = 3 sigma`` boundary.
+        """
+        if mark not in ("fresh", "window"):
+            raise ValueError(f"mark must be 'fresh' or 'window', got {mark!r}")
+        scores = np.zeros(self.length, dtype=np.float64)
+        for record in self.rounds:
+            squashed = record.deviation / (1.0 + record.deviation)
+            if mark == "fresh":
+                start, stop = self.spec.fresh_span(record.index)
+            else:
+                start, stop = record.start, record.stop
+            stop = min(stop, self.length)
+            np.maximum(scores[start:stop], squashed, out=scores[start:stop])
+        return scores
+
+    def sensor_indicator(self) -> np.ndarray:
+        """0/1 vector over sensors: 1 if the sensor is in any anomaly."""
+        indicator = np.zeros(self.n_sensors, dtype=np.int8)
+        for sensor in self.abnormal_sensors():
+            indicator[sensor] = 1
+        return indicator
+
+    def variation_series(self) -> np.ndarray:
+        """The ``n_r`` series over detection rounds (diagnostics/plots)."""
+        return np.array([record.n_variations for record in self.rounds])
+
+    def __repr__(self) -> str:
+        return (
+            f"DetectionResult(n_anomalies={self.n_anomalies}, "
+            f"n_rounds={len(self.rounds)}, length={self.length})"
+        )

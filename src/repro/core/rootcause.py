@@ -1,0 +1,74 @@
+"""Root-cause ranking of the sensors implicated in an anomaly.
+
+The paper motivates abnormal-sensor output as the hook for root-cause
+analysis (Section I): the sensors affected *earliest* and *most strongly*
+are the likely origin of a propagating fault.  This module turns a
+:class:`~repro.core.DetectionResult` into a ranked list per anomaly:
+
+* a sensor's **evidence** accumulates the deviation of every abnormal round
+  in which it was in transition;
+* its **onset** is the first such round — earlier onsets rank higher on
+  ties (the propagation ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .result import Anomaly, DetectionResult
+
+
+@dataclass(frozen=True)
+class SensorCause:
+    """One sensor's evidence within an anomaly."""
+
+    sensor: int
+    evidence: float
+    onset_round: int
+
+    def __post_init__(self) -> None:
+        if self.evidence < 0:
+            raise ValueError(f"evidence must be >= 0, got {self.evidence}")
+
+
+def rank_root_causes(result: DetectionResult, anomaly: Anomaly) -> list[SensorCause]:
+    """Rank ``anomaly``'s sensors by evidence (desc), then onset (asc).
+
+    ``anomaly`` must come from ``result`` (its rounds are looked up there).
+    """
+    rounds_by_index = {record.index: record for record in result.rounds}
+    evidence: dict[int, float] = {}
+    onset: dict[int, int] = {}
+    for round_index in anomaly.rounds:
+        record = rounds_by_index.get(round_index)
+        if record is None:
+            raise ValueError(
+                f"anomaly round {round_index} not present in the detection result"
+            )
+        for sensor in record.variations:
+            evidence[sensor] = evidence.get(sensor, 0.0) + record.deviation
+            onset.setdefault(sensor, round_index)
+
+    # Sensors attributed to the anomaly but never in transition during its
+    # rounds (possible under attribution="outliers") get zero evidence.
+    for sensor in anomaly.sensors:
+        evidence.setdefault(sensor, 0.0)
+        onset.setdefault(sensor, anomaly.rounds[-1])
+
+    causes = [
+        SensorCause(sensor=s, evidence=evidence[s], onset_round=onset[s])
+        for s in evidence
+    ]
+    causes.sort(key=lambda c: (-c.evidence, c.onset_round, c.sensor))
+    return causes
+
+
+def propagation_order(result: DetectionResult, anomaly: Anomaly) -> list[int]:
+    """Sensors of ``anomaly`` ordered by when they first transitioned.
+
+    Approximates the fault's spread path — the first entries are the
+    candidates for the physical origin.
+    """
+    causes = rank_root_causes(result, anomaly)
+    causes.sort(key=lambda c: (c.onset_round, -c.evidence, c.sensor))
+    return [cause.sensor for cause in causes]

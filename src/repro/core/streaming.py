@@ -1,0 +1,99 @@
+"""Streaming front-end for CAD (paper Section IV-F, Generalization).
+
+:class:`StreamingCAD` buffers incoming samples (columns of the MTS) and runs
+one CAD round every time a full new window materialises — i.e. after the
+first ``window`` samples and then after every further ``step`` samples.
+Because CAD's statistics (``mu``, ``sigma``, co-appearance history) are
+maintained incrementally, the stream can run forever: each round costs
+O(n log n) regardless of how much history has gone by.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..timeseries.mts import MultivariateTimeSeries
+from .config import CADConfig
+from .detector import CAD
+from .result import RoundRecord
+
+
+class StreamingCAD:
+    """Push-based CAD: feed samples, receive round records.
+
+    Parameters
+    ----------
+    config:
+        CAD hyper-parameters.
+    n_sensors:
+        Width of each incoming sample.
+    """
+
+    def __init__(self, config: CADConfig, n_sensors: int):
+        self._detector = CAD(config, n_sensors)
+        self._config = config
+        self._n_sensors = n_sensors
+        self._buffer = np.empty((n_sensors, 0))
+        self._samples_seen = 0
+        self._next_round_end = config.window
+
+    @property
+    def detector(self) -> CAD:
+        """The underlying stateful detector (e.g. for ``moments``)."""
+        return self._detector
+
+    @property
+    def samples_seen(self) -> int:
+        return self._samples_seen
+
+    def warm_up(self, history: MultivariateTimeSeries) -> None:
+        """Seed statistics from a historical segment before streaming."""
+        self._detector.warm_up(history)
+
+    def push(self, sample: np.ndarray) -> RoundRecord | None:
+        """Feed one sample (readings of all sensors at one time point).
+
+        Returns the round's :class:`RoundRecord` when this sample completes
+        a window, else ``None``.
+        """
+        sample = np.asarray(sample, dtype=np.float64).reshape(-1)
+        if sample.shape != (self._n_sensors,):
+            raise ValueError(
+                f"expected sample of {self._n_sensors} readings, got {sample.shape}"
+            )
+        self._buffer = np.hstack([self._buffer, sample[:, None]])
+        self._samples_seen += 1
+        if self._samples_seen < self._next_round_end:
+            return None
+
+        window = self._buffer[:, -self._config.window :]
+        record = self._detector.process_window(window)
+        self._next_round_end += self._config.step
+        # Keep only what future windows can still need.
+        keep = self._config.window - self._config.step
+        if self._buffer.shape[1] > keep:
+            self._buffer = self._buffer[:, -keep:]
+        return record
+
+    def push_many(self, samples: np.ndarray) -> list[RoundRecord]:
+        """Feed an ``(n_sensors, t)`` block of samples; return all records."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 2 or samples.shape[0] != self._n_sensors:
+            raise ValueError(
+                f"expected ({self._n_sensors}, t) block, got shape {samples.shape}"
+            )
+        records = []
+        for column in samples.T:
+            record = self.push(column)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def alarms(self, samples: Iterable[np.ndarray]) -> Iterable[RoundRecord]:
+        """Generator over abnormal rounds only, for alerting pipelines."""
+        for sample in samples:
+            record = self.push(np.asarray(sample))
+            if record is not None and record.abnormal:
+                yield record

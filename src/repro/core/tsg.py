@@ -1,0 +1,35 @@
+"""Time-Series Graph construction (paper Section III-B).
+
+A TSG for a window ``T_r`` is the k-NN graph over sensors built from pairwise
+Pearson correlations, with edges weaker than ``tau`` (in absolute value)
+pruned away.  The signed correlation is kept as the edge weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph, knn_graph, prune_weak_edges
+from ..timeseries.correlation import pearson_matrix
+
+
+def build_tsg(window_values: np.ndarray, k: int, tau: float) -> Graph:
+    """Build the TSG of one ``(n, w)`` window.
+
+    Parameters
+    ----------
+    window_values:
+        The raw sensor readings of the window (rows = sensors).
+    k:
+        Neighbours per vertex before pruning; must be < n.
+    tau:
+        Correlation threshold; edges with ``|corr| < tau`` are dropped.
+    """
+    corr = pearson_matrix(window_values)
+    return prune_weak_edges(knn_graph(corr, k), tau)
+
+
+def tsg_sequence(windows, k: int, tau: float):
+    """Yield the TSG of each window in an iterable of ``(n, w)`` matrices."""
+    for window_values in windows:
+        yield build_tsg(window_values, k, tau)

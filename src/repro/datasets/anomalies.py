@@ -1,0 +1,176 @@
+"""Anomaly injection for the sensor-network simulator.
+
+Every injector takes the clean values of the affected sensors and returns
+replacement readings for the anomaly span.  The types cover the failure
+modes the paper's datasets contain:
+
+* ``decouple``    — the sensor stops following its community's driver and
+  follows an independent signal of similar amplitude.  This is the
+  correlation-breaking failure CAD is designed to catch early: the marginal
+  distribution of the sensor barely changes at onset.
+* ``level_shift`` — an additive offset (classic point-detectable fault).
+* ``trend_drift`` — a slow additive ramp (wear-and-tear style).
+* ``noise_burst`` — the sensor's noise floor multiplies.
+* ``stuck``       — the reading freezes at its last value (dead sensor).
+* ``swap``        — the sensor starts following a *different* community's
+  driver (cross-coupling fault).
+
+Anomalies optionally *propagate*: the affected sensor set grows over the
+anomaly span, mirroring the paper's motivation that a small failure spreads
+to nearby components over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+ANOMALY_TYPES = (
+    "decouple",
+    "level_shift",
+    "trend_drift",
+    "noise_burst",
+    "stuck",
+    "swap",
+)
+
+
+@dataclass(frozen=True)
+class AnomalySpec:
+    """One injected anomaly.
+
+    Attributes
+    ----------
+    start, stop:
+        Half-open point span of the anomaly within the series.
+    sensors:
+        Affected sensor indices, in propagation order (the first entries are
+        hit at ``start``; later entries join as the anomaly spreads).
+    kind:
+        One of :data:`ANOMALY_TYPES`.
+    magnitude:
+        Type-specific strength (offset size, noise multiplier, ...).
+    propagate:
+        If True, sensors join one by one across the first half of the span;
+        if False, all sensors are affected from ``start``.
+    """
+
+    start: int
+    stop: int
+    sensors: tuple[int, ...]
+    kind: str
+    magnitude: float = 1.0
+    propagate: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"invalid anomaly span [{self.start}, {self.stop})")
+        if not self.sensors:
+            raise ValueError("an anomaly must affect at least one sensor")
+        if len(set(self.sensors)) != len(self.sensors):
+            raise ValueError("affected sensors must be distinct")
+        if self.kind not in ANOMALY_TYPES:
+            raise ValueError(f"unknown anomaly kind {self.kind!r}")
+        if self.magnitude <= 0:
+            raise ValueError(f"magnitude must be > 0, got {self.magnitude}")
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    def onset(self, sensor: int) -> int:
+        """The time point at which ``sensor`` becomes affected."""
+        position = self.sensors.index(sensor)
+        if not self.propagate or len(self.sensors) == 1:
+            return self.start
+        # Sensors join at evenly spaced offsets across the first half.
+        span = max(1, self.length // 2)
+        offset = (position * span) // len(self.sensors)
+        return self.start + offset
+
+
+@dataclass
+class InjectionContext:
+    """Everything an injector may need, bundled for one anomaly."""
+
+    rng: np.random.Generator
+    drivers: np.ndarray  # (n_communities, length) latent community drivers
+    community_of: np.ndarray  # (n_sensors,) community index per sensor
+    noise_scale: float
+
+
+def inject_anomaly(values: np.ndarray, spec: AnomalySpec, ctx: InjectionContext) -> None:
+    """Overwrite ``values`` in place with the anomaly's readings.
+
+    ``values`` is the full ``(n_sensors, length)`` matrix; only the affected
+    sensors' spans (respecting per-sensor onsets) are modified.
+    """
+    for sensor in spec.sensors:
+        onset = spec.onset(sensor)
+        span = slice(onset, spec.stop)
+        clean = values[sensor, span]
+        if clean.size == 0:
+            continue
+        values[sensor, span] = _transform(clean, sensor, spec, ctx, onset)
+
+
+def _transform(
+    clean: np.ndarray,
+    sensor: int,
+    spec: AnomalySpec,
+    ctx: InjectionContext,
+    onset: int,
+) -> np.ndarray:
+    length = clean.size
+    rng = ctx.rng
+    amplitude = max(float(np.std(clean)), 0.1)
+
+    if spec.kind == "decouple":
+        # Independent smooth signal of similar amplitude: a random-phase
+        # sinusoid plus AR(1) noise.  The marginal looks normal; only the
+        # cross-correlations break.
+        period = rng.uniform(20, 80)
+        phase = rng.uniform(0, 2 * np.pi)
+        t = np.arange(length)
+        signal = amplitude * spec.magnitude * np.sin(2 * np.pi * t / period + phase)
+        return float(np.mean(clean)) + signal + _ar1(rng, length, 0.8, ctx.noise_scale)
+
+    if spec.kind == "level_shift":
+        direction = 1.0 if rng.random() < 0.5 else -1.0
+        return clean + direction * spec.magnitude * amplitude * 3.0
+
+    if spec.kind == "trend_drift":
+        direction = 1.0 if rng.random() < 0.5 else -1.0
+        ramp = np.linspace(0.0, direction * spec.magnitude * amplitude * 4.0, length)
+        return clean + ramp
+
+    if spec.kind == "noise_burst":
+        burst = rng.standard_normal(length) * ctx.noise_scale * spec.magnitude * 8.0
+        return clean + burst
+
+    if spec.kind == "stuck":
+        level = clean[0]
+        return np.full(length, level) + rng.standard_normal(length) * 1e-3
+
+    if spec.kind == "swap":
+        home = int(ctx.community_of[sensor])
+        others = [c for c in range(ctx.drivers.shape[0]) if c != home]
+        target = others[int(rng.integers(len(others)))] if others else home
+        driver = ctx.drivers[target, onset : onset + length]
+        scale = amplitude / max(float(np.std(driver)), 1e-6)
+        return (
+            float(np.mean(clean))
+            + spec.magnitude * scale * (driver - float(np.mean(driver)))
+            + _ar1(rng, length, 0.8, ctx.noise_scale)
+        )
+
+    raise AssertionError(f"unhandled anomaly kind {spec.kind!r}")
+
+
+def _ar1(rng: np.random.Generator, length: int, rho: float, scale: float) -> np.ndarray:
+    """Stationary AR(1) noise with standard deviation ``scale``."""
+    from scipy.signal import lfilter
+
+    shocks = rng.standard_normal(length) * np.sqrt(1 - rho * rho)
+    return lfilter([1.0], [1.0, -rho], shocks) * scale

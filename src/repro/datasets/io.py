@@ -1,0 +1,99 @@
+"""Persistence for datasets: npz round-trip and CSV export.
+
+The npz format stores everything needed to reproduce an evaluation —
+history, test, labels and per-event sensor sets — so generated datasets can
+be shipped or diffed.  CSV export is provided for inspection in external
+tools (one row per time point, one column per sensor).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..evaluation.sensors import SensorEvent
+from ..timeseries.mts import MultivariateTimeSeries
+from .registry import Dataset, DatasetSpec, get_spec
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Serialise a dataset to ``path`` (npz)."""
+    path = Path(path)
+    events_json = json.dumps(
+        [
+            {"start": e.start, "stop": e.stop, "sensors": sorted(e.sensors)}
+            for e in dataset.events
+        ]
+    )
+    np.savez_compressed(
+        path,
+        name=np.array(dataset.name),
+        history=dataset.history.values,
+        test=dataset.test.values,
+        labels=dataset.labels,
+        community_of=dataset.community_of,
+        events=np.array(events_json),
+    )
+
+
+def load_dataset_file(path: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    The spec is looked up by the stored name, so only registered datasets
+    round-trip; this is a deliberate guard against evaluating mystery data.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        name = str(archive["name"])
+        history = MultivariateTimeSeries(archive["history"])
+        test = MultivariateTimeSeries(archive["test"])
+        labels = archive["labels"].astype(np.int8)
+        community_of = archive["community_of"]
+        events_raw = json.loads(str(archive["events"]))
+    events = tuple(
+        SensorEvent(
+            start=int(e["start"]),
+            stop=int(e["stop"]),
+            sensors=frozenset(int(s) for s in e["sensors"]),
+        )
+        for e in events_raw
+    )
+    spec: DatasetSpec = get_spec(name)
+    return Dataset(
+        name=name,
+        history=history,
+        test=test,
+        labels=labels,
+        events=events,
+        community_of=community_of,
+        spec=spec,
+    )
+
+
+def export_csv(series: MultivariateTimeSeries, path: str | Path) -> None:
+    """Write an MTS as CSV: header of sensor names, one row per time point."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(series.sensor_names)
+        for t in range(series.length):
+            writer.writerow([f"{v:.6g}" for v in series.values[:, t]])
+
+
+def import_csv(path: str | Path) -> MultivariateTimeSeries:
+    """Read an MTS from CSV written by :func:`export_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            names = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        rows = [[float(cell) for cell in row] for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path} contains a header but no data")
+    values = np.array(rows, dtype=np.float64).T
+    return MultivariateTimeSeries(values, tuple(names))

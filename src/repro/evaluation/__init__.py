@@ -1,0 +1,63 @@
+"""Delay-aware Evaluation (DaE) and companion metrics.
+
+Implements the paper's Section V plus the Section VI protocol: PA and DPA
+adjustment, grid-searched F1, the relative Ahead/Miss measures, VUS-ROC and
+VUS-PR, sensor-level F1, and average ranking.
+"""
+
+from .confusion import Confusion, confusion, f1_score, set_confusion
+from .point_adjust import (
+    adjust_predictions,
+    adjusted_confusion,
+    detection_delays,
+    f1_dpa,
+    f1_pa,
+    segment_recall,
+)
+from .range_metrics import RangeScore, range_f1, range_precision_recall
+from .ranking import average_rank, rank_scores
+from .relative import AheadMiss, ahead_miss, outperform_fractions
+from .segments import Segment, first_detection, label_segments, segments_to_labels
+from .sensors import SensorEvent, SensorScore, f1_sensor
+from .thresholding import (
+    ThresholdSearchResult,
+    best_f1,
+    best_predictions,
+    threshold_curves,
+)
+from .vus import VusResult, soft_labels, vus
+
+__all__ = [
+    "Confusion",
+    "confusion",
+    "f1_score",
+    "set_confusion",
+    "adjust_predictions",
+    "adjusted_confusion",
+    "f1_pa",
+    "f1_dpa",
+    "detection_delays",
+    "segment_recall",
+    "Segment",
+    "label_segments",
+    "segments_to_labels",
+    "first_detection",
+    "AheadMiss",
+    "ahead_miss",
+    "outperform_fractions",
+    "SensorEvent",
+    "SensorScore",
+    "f1_sensor",
+    "ThresholdSearchResult",
+    "threshold_curves",
+    "best_f1",
+    "best_predictions",
+    "VusResult",
+    "vus",
+    "soft_labels",
+    "rank_scores",
+    "RangeScore",
+    "range_precision_recall",
+    "range_f1",
+    "average_rank",
+]

@@ -1,0 +1,69 @@
+"""Point-level confusion counts and precision / recall / F1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """True/false positive/negative counts of a binary prediction."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.fn + self.tn
+        return (self.tp + self.tn) / total if total else 0.0
+
+
+def confusion(predictions: np.ndarray, labels: np.ndarray) -> Confusion:
+    """Confusion counts of 0/1 ``predictions`` against 0/1 ``labels``."""
+    predictions = np.asarray(predictions) != 0
+    labels = np.asarray(labels) != 0
+    if predictions.shape != labels.shape or predictions.ndim != 1:
+        raise ValueError("predictions and labels must be 1-D and of equal length")
+    tp = int(np.sum(predictions & labels))
+    fp = int(np.sum(predictions & ~labels))
+    fn = int(np.sum(~predictions & labels))
+    tn = int(np.sum(~predictions & ~labels))
+    return Confusion(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def f1_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Plain point-wise F1 (no adjustment)."""
+    return confusion(predictions, labels).f1
+
+
+def set_confusion(predicted: frozenset[int] | set[int], actual: frozenset[int] | set[int],
+                  universe_size: int) -> Confusion:
+    """Confusion counts over a finite index set (used for sensor-level F1)."""
+    predicted = set(predicted)
+    actual = set(actual)
+    tp = len(predicted & actual)
+    fp = len(predicted - actual)
+    fn = len(actual - predicted)
+    tn = universe_size - tp - fp - fn
+    if tn < 0:
+        raise ValueError("universe_size smaller than the union of the sets")
+    return Confusion(tp=tp, fp=fp, fn=fn, tn=tn)

@@ -1,0 +1,93 @@
+"""Point Adjustment (PA) and Delay-Point Adjustment (DPA).
+
+PA (paper Section V): once any point of a ground-truth anomaly is predicted,
+*every* point of that anomaly counts as detected.  DPA, the paper's stricter
+delay-aware variant, only adjusts the false negatives *after* the first true
+positive — points of the anomaly before the first detection stay missed, so
+late detections are penalised.  For every prediction, ``F1_DPA <= F1_PA``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .confusion import Confusion, confusion
+from .segments import Segment, first_detection, label_segments
+
+
+def adjust_predictions(
+    predictions: np.ndarray, labels: np.ndarray, mode: str = "pa"
+) -> np.ndarray:
+    """Return the adjusted copy of ``predictions`` under PA or DPA.
+
+    Parameters
+    ----------
+    predictions, labels:
+        0/1 vectors of equal length.
+    mode:
+        ``"pa"`` adjusts whole detected segments; ``"dpa"`` adjusts only from
+        the first true positive of each segment onward; ``"none"`` returns an
+        unadjusted copy (convenience for uniform call sites).
+    """
+    if mode not in ("pa", "dpa", "none"):
+        raise ValueError(f"mode must be 'pa', 'dpa' or 'none', got {mode!r}")
+    predictions = (np.asarray(predictions) != 0).astype(np.int8)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have equal length")
+    if mode == "none":
+        return predictions
+
+    adjusted = predictions.copy()
+    for segment in label_segments(labels):
+        first = first_detection(segment, predictions)
+        if first is None:
+            continue
+        start = segment.start if mode == "pa" else first
+        adjusted[start : segment.stop] = 1
+    return adjusted
+
+
+def adjusted_confusion(
+    predictions: np.ndarray, labels: np.ndarray, mode: str = "pa"
+) -> Confusion:
+    """Confusion counts after PA/DPA adjustment."""
+    return confusion(adjust_predictions(predictions, labels, mode), labels)
+
+
+def f1_pa(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """F1 after Point Adjustment."""
+    return adjusted_confusion(predictions, labels, "pa").f1
+
+
+def f1_dpa(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """F1 after Delay-Point Adjustment."""
+    return adjusted_confusion(predictions, labels, "dpa").f1
+
+
+def detection_delays(
+    predictions: np.ndarray, labels: np.ndarray
+) -> list[int | None]:
+    """Per ground-truth anomaly: points between onset and first detection.
+
+    ``None`` marks a missed anomaly; 0 means detected at its very first
+    point.  This is the quantity DPA penalises and the case study (paper
+    Fig. 7) reports.
+    """
+    predictions = np.asarray(predictions)
+    delays: list[int | None] = []
+    for segment in label_segments(np.asarray(labels)):
+        first = first_detection(segment, predictions)
+        delays.append(None if first is None else first - segment.start)
+    return delays
+
+
+def segment_recall(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of ground-truth anomalies with at least one detected point."""
+    segments = label_segments(np.asarray(labels))
+    if not segments:
+        return 0.0
+    detected = sum(
+        1 for s in segments if first_detection(s, np.asarray(predictions)) is not None
+    )
+    return detected / len(segments)

@@ -1,0 +1,93 @@
+"""Range-based precision and recall (Tatbul et al., NeurIPS 2018).
+
+A complement to PA/DPA: instead of adjusting points, it scores predicted
+*ranges* against ground-truth *ranges* with three ingredients per range —
+existence (was it found at all), overlap size, and an optional positional
+bias.  We implement the standard flat-bias variant:
+
+* ``recall_T(R)``  = alpha * existence(R) + (1 - alpha) * overlap(R)
+* ``precision_T(P)`` = overlap fraction of the predicted range P
+* totals are averaged over ranges.
+
+``alpha`` trades existence reward against overlap reward (0.0 = pure
+overlap, 1.0 = pure detection count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .segments import Segment, label_segments
+
+
+@dataclass(frozen=True)
+class RangeScore:
+    """Range-based precision/recall/F1 of a binary prediction."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _overlap_fraction(segment: Segment, others: list[Segment]) -> float:
+    """Fraction of ``segment`` covered by the union of ``others``."""
+    covered = 0
+    for other in others:
+        lo = max(segment.start, other.start)
+        hi = min(segment.stop, other.stop)
+        if hi > lo:
+            covered += hi - lo
+    return covered / segment.length
+
+
+def range_precision_recall(
+    predictions: np.ndarray, labels: np.ndarray, alpha: float = 0.5
+) -> RangeScore:
+    """Range-based precision and recall of a 0/1 prediction vector.
+
+    Parameters
+    ----------
+    predictions, labels:
+        Binary vectors of equal length.
+    alpha:
+        Existence-reward weight in the recall term (0 <= alpha <= 1).
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape or predictions.ndim != 1:
+        raise ValueError("predictions and labels must be 1-D and of equal length")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+
+    real = label_segments(labels)
+    predicted = label_segments(predictions)
+
+    if not real:
+        recall = 0.0
+    else:
+        per_real = []
+        for segment in real:
+            overlap = _overlap_fraction(segment, predicted)
+            existence = 1.0 if overlap > 0 else 0.0
+            per_real.append(alpha * existence + (1 - alpha) * overlap)
+        recall = float(np.mean(per_real))
+
+    if not predicted:
+        precision = 0.0
+    else:
+        precision = float(
+            np.mean([_overlap_fraction(segment, real) for segment in predicted])
+        )
+
+    return RangeScore(precision=precision, recall=recall)
+
+
+def range_f1(predictions: np.ndarray, labels: np.ndarray, alpha: float = 0.5) -> float:
+    """Convenience wrapper returning the range-based F1."""
+    return range_precision_recall(predictions, labels, alpha).f1

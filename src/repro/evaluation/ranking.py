@@ -1,0 +1,52 @@
+"""Average-rank aggregation across datasets (Table III's "Rank" column)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_scores(scores: dict[str, float], higher_is_better: bool = True) -> dict[str, float]:
+    """Competition ranks (1 = best) with ties sharing the average rank."""
+    if not scores:
+        raise ValueError("need at least one score to rank")
+    names = list(scores)
+    values = np.array([scores[name] for name in names], dtype=np.float64)
+    order = -values if higher_is_better else values
+
+    ranks = np.empty(len(names), dtype=np.float64)
+    sorted_idx = np.argsort(order, kind="stable")
+    position = 0
+    while position < len(names):
+        tie_end = position
+        while (
+            tie_end + 1 < len(names)
+            and order[sorted_idx[tie_end + 1]] == order[sorted_idx[position]]
+        ):
+            tie_end += 1
+        average = (position + tie_end) / 2 + 1
+        for j in range(position, tie_end + 1):
+            ranks[sorted_idx[j]] = average
+        position = tie_end + 1
+    return dict(zip(names, ranks.tolist()))
+
+
+def average_rank(
+    per_metric_scores: list[dict[str, float]], higher_is_better: bool = True
+) -> dict[str, float]:
+    """Average each method's rank over several metric/dataset columns.
+
+    ``per_metric_scores`` is one ``{method: score}`` dict per column; all
+    columns must cover the same methods.  This is how Table III's final
+    "Rank" aggregates F1_PA and F1_DPA over the four datasets.
+    """
+    if not per_metric_scores:
+        raise ValueError("need at least one column of scores")
+    methods = set(per_metric_scores[0])
+    for column in per_metric_scores[1:]:
+        if set(column) != methods:
+            raise ValueError("all columns must score the same methods")
+    totals = {method: 0.0 for method in methods}
+    for column in per_metric_scores:
+        for method, rank in rank_scores(column, higher_is_better).items():
+            totals[method] += rank
+    return {method: total / len(per_metric_scores) for method, total in totals.items()}

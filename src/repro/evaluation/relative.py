@@ -1,0 +1,91 @@
+"""The relative part of the Delay-aware Evaluation scheme: Ahead and Miss.
+
+Paper Section V.  Given binary predictions of two methods M1 and M2 over the
+same ground truth with ``I`` anomalies:
+
+* ``I_d``      — anomalies M1 detects (at least one predicted point inside);
+* ``I_ahead``  — anomalies M1 detects *ahead of* M2 (strictly earlier first
+  true positive; detecting an anomaly M2 misses entirely also counts);
+* ``I_miss``   — anomalies M1 misses but M2 detects;
+* ``Ahead = I_ahead / I_d`` (0 when M1 detects nothing);
+* ``Miss  = I_miss / (I - I_d)``, defined as 0 when M1 detects everything.
+
+The ideal outcome for M1 is ``Ahead = 1`` and ``Miss = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .segments import first_detection, label_segments
+
+
+@dataclass(frozen=True)
+class AheadMiss:
+    """Ahead/Miss of method M1 relative to M2, plus the raw counts."""
+
+    ahead: float
+    miss: float
+    n_anomalies: int
+    n_detected: int
+    n_ahead: int
+    n_missed_but_covered: int
+
+
+def ahead_miss(
+    predictions_m1: np.ndarray,
+    predictions_m2: np.ndarray,
+    labels: np.ndarray,
+) -> AheadMiss:
+    """Compute Ahead and Miss of M1 against M2 (paper Section V)."""
+    predictions_m1 = np.asarray(predictions_m1)
+    predictions_m2 = np.asarray(predictions_m2)
+    labels = np.asarray(labels)
+    if not predictions_m1.shape == predictions_m2.shape == labels.shape:
+        raise ValueError("both predictions and labels must have equal length")
+
+    segments = label_segments(labels)
+    total = len(segments)
+    detected = 0
+    n_ahead = 0
+    n_miss = 0
+    for segment in segments:
+        first_1 = first_detection(segment, predictions_m1)
+        first_2 = first_detection(segment, predictions_m2)
+        if first_1 is not None:
+            detected += 1
+            if first_2 is None or first_1 < first_2:
+                n_ahead += 1
+        elif first_2 is not None:
+            n_miss += 1
+
+    ahead = n_ahead / detected if detected else 0.0
+    remaining = total - detected
+    miss = n_miss / remaining if remaining else 0.0
+    return AheadMiss(
+        ahead=ahead,
+        miss=miss,
+        n_anomalies=total,
+        n_detected=detected,
+        n_ahead=n_ahead,
+        n_missed_but_covered=n_miss,
+    )
+
+
+def outperform_fractions(
+    pairs: list[AheadMiss], ratios: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Counts backing the paper's Figure 4.
+
+    For each ratio ``q`` in ``ratios``, count how many comparisons in
+    ``pairs`` achieve ``Ahead > q`` and how many achieve ``Miss < q``.
+    Returns ``(ahead_counts, miss_counts)`` arrays aligned with ``ratios``.
+    """
+    ratios = np.asarray(ratios, dtype=np.float64)
+    aheads = np.array([p.ahead for p in pairs])
+    misses = np.array([p.miss for p in pairs])
+    ahead_counts = np.array([(aheads > q).sum() for q in ratios])
+    miss_counts = np.array([(misses < q).sum() for q in ratios])
+    return ahead_counts, miss_counts

@@ -1,0 +1,63 @@
+"""Ground-truth helpers: contiguous anomaly segments of a label vector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One ground-truth anomaly event: half-open point span ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"invalid segment [{self.start}, {self.stop})")
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    def contains(self, t: int) -> bool:
+        return self.start <= t < self.stop
+
+    def overlaps(self, start: int, stop: int) -> bool:
+        """Whether this segment intersects the half-open span [start, stop)."""
+        return self.start < stop and start < self.stop
+
+
+def label_segments(labels: np.ndarray) -> list[Segment]:
+    """Decompose a 0/1 label vector into its maximal runs of 1s."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D vector")
+    binary = (labels != 0).astype(np.int8)
+    if binary.size == 0:
+        return []
+    diff = np.diff(binary, prepend=0, append=0)
+    starts = np.flatnonzero(diff == 1)
+    stops = np.flatnonzero(diff == -1)
+    return [Segment(int(a), int(b)) for a, b in zip(starts, stops)]
+
+
+def segments_to_labels(segments: list[Segment], length: int) -> np.ndarray:
+    """Inverse of :func:`label_segments`."""
+    labels = np.zeros(length, dtype=np.int8)
+    for segment in segments:
+        if segment.stop > length:
+            raise ValueError(f"segment {segment} exceeds length {length}")
+        labels[segment.start : segment.stop] = 1
+    return labels
+
+
+def first_detection(segment: Segment, predictions: np.ndarray) -> int | None:
+    """Index of the first predicted point inside ``segment`` (None if missed)."""
+    window = np.asarray(predictions[segment.start : segment.stop])
+    hits = np.flatnonzero(window != 0)
+    if hits.size == 0:
+        return None
+    return segment.start + int(hits[0])

@@ -1,0 +1,75 @@
+"""Abnormal-sensor evaluation (paper Section VI-C, ``F1_sensor``).
+
+The paper merges all abnormal sensors a method reports during one
+ground-truth anomaly period and scores that set against the anomaly's
+labelled sensors with an F1.  We report the macro average over anomalies
+(each anomaly weighted equally) and expose the per-anomaly values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .confusion import set_confusion
+
+
+@dataclass(frozen=True)
+class SensorEvent:
+    """Ground truth of one anomaly: its point span and affected sensors."""
+
+    start: int
+    stop: int
+    sensors: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"invalid event span [{self.start}, {self.stop})")
+        if not self.sensors:
+            raise ValueError("a sensor event must name at least one sensor")
+
+
+@dataclass(frozen=True)
+class SensorScore:
+    """F1 over sensor sets, macro-averaged across anomaly events."""
+
+    f1: float
+    per_event: tuple[float, ...]
+    n_events: int
+
+
+def f1_sensor(
+    predicted_events: Sequence[tuple[int, int, frozenset[int]]],
+    ground_truth: Sequence[SensorEvent],
+    n_sensors: int,
+) -> SensorScore:
+    """Score predicted abnormal sensors against labelled sensor sets.
+
+    Parameters
+    ----------
+    predicted_events:
+        ``(start, stop, sensors)`` triples as produced by a detector (for
+        CAD: each :class:`~repro.core.Anomaly`).  All predictions whose span
+        overlaps a ground-truth event are merged into that event's predicted
+        sensor set, following the paper's "merge all detected abnormal
+        sensors into one ground truth period" rule.
+    ground_truth:
+        The labelled events.
+    n_sensors:
+        Total sensor count (for the confusion universe).
+    """
+    if not ground_truth:
+        raise ValueError("ground truth must contain at least one event")
+    per_event = []
+    for event in ground_truth:
+        merged: set[int] = set()
+        for start, stop, sensors in predicted_events:
+            if start < event.stop and event.start < stop:
+                merged |= set(sensors)
+        per_event.append(set_confusion(merged, event.sensors, n_sensors).f1)
+    values = tuple(per_event)
+    return SensorScore(
+        f1=sum(values) / len(values),
+        per_event=values,
+        n_events=len(values),
+    )

@@ -1,0 +1,40 @@
+"""Connected components via iterative depth-first search."""
+
+from __future__ import annotations
+
+from .graph import Graph
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Return the connected components as sorted vertex lists.
+
+    Components are ordered by their smallest vertex, and vertices inside a
+    component are sorted, so the output is deterministic.
+    """
+    seen = [False] * graph.n_vertices
+    components: list[list[int]] = []
+    for start in range(graph.n_vertices):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        component = []
+        while stack:
+            v = stack.pop()
+            component.append(v)
+            for u in graph.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append(u)
+        component.sort()
+        components.append(component)
+    return components
+
+
+def component_labels(graph: Graph) -> list[int]:
+    """Component label per vertex, numbered in order of smallest member."""
+    labels = [-1] * graph.n_vertices
+    for index, component in enumerate(connected_components(graph)):
+        for v in component:
+            labels[v] = index
+    return labels

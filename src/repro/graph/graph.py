@@ -1,0 +1,123 @@
+"""Weighted undirected graph with a fixed vertex set.
+
+TSGs (paper Section III-B) always share the same vertex set — one vertex per
+sensor — while their edge sets change from round to round.  This structure is
+therefore built around a fixed ``n`` and an adjacency dictionary per vertex.
+Vertices are integers ``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Graph:
+    """Undirected weighted graph on vertices ``0 .. n_vertices - 1``.
+
+    Self-loops are rejected (a sensor's correlation with itself carries no
+    information for TSGs).  Adding an edge twice overwrites its weight.
+    """
+
+    __slots__ = ("_n", "_adj", "_n_edges")
+
+    def __init__(self, n_vertices: int):
+        if n_vertices < 1:
+            raise ValueError(f"graph needs at least 1 vertex, got {n_vertices}")
+        self._n = n_vertices
+        self._adj: list[dict[int, float]] = [{} for _ in range(n_vertices)]
+        self._n_edges = 0
+
+    @property
+    def n_vertices(self) -> int:
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise ValueError(f"vertex {v} outside [0, {self._n})")
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or overwrite) the undirected edge ``{u, v}``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} is not allowed")
+        if v not in self._adj[u]:
+            self._n_edges += 1
+        self._adj[u][v] = float(weight)
+        self._adj[v][u] = float(weight)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise KeyError(f"no edge between {u} and {v}")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._n_edges -= 1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise KeyError(f"no edge between {u} and {v}") from None
+
+    def neighbors(self, v: int) -> dict[int, float]:
+        """Read-only view of ``v``'s neighbour -> weight mapping.
+
+        Returned as a shallow copy so callers cannot corrupt the adjacency.
+        """
+        self._check_vertex(v)
+        return dict(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        """Number of incident edges of ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def weighted_degree(self, v: int) -> float:
+        """Sum of incident edge weights of ``v``."""
+        self._check_vertex(v)
+        return sum(self._adj[v].values())
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights (each undirected edge counted once)."""
+        return sum(self.weighted_degree(v) for v in range(self._n)) / 2.0
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, weight)`` with u < v."""
+        for u in range(self._n):
+            for v, w in self._adj[u].items():
+                if u < v:
+                    yield u, v, w
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """The set of undirected edges as ``(min, max)`` pairs."""
+        return {(u, v) for u, v, _ in self.edges()}
+
+    def subgraph_vertices(self, vertices: Iterable[int]) -> set[int]:
+        """Validate and return a vertex subset as a set."""
+        result = set()
+        for v in vertices:
+            self._check_vertex(v)
+            result.add(v)
+        return result
+
+    def copy(self) -> "Graph":
+        clone = Graph(self._n)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, w)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Graph(n_vertices={self._n}, n_edges={self._n_edges})"

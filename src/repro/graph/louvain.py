@@ -1,0 +1,195 @@
+"""Louvain community detection (Blondel et al. 2008, paper reference [11]).
+
+This is a from-scratch, fully deterministic implementation: vertices are
+visited in index order and modularity-gain ties keep the smallest community
+label.  Determinism matters here — the paper's robustness claim
+(Table VIII) rests on CAD producing the exact same output on every run.
+
+Weights must be non-negative; modularity is not defined for negative
+weights.  CAD feeds Louvain the *absolute* correlations of the TSG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import Graph
+from .modularity import modularity
+
+
+@dataclass(frozen=True)
+class LouvainResult:
+    """Partition produced by Louvain.
+
+    Attributes
+    ----------
+    labels:
+        Community label per vertex, compacted to ``0 .. n_communities - 1``
+        in order of first appearance (so labels are deterministic too).
+    n_communities:
+        Number of distinct communities.
+    modularity:
+        Modularity of the final partition on the input graph.
+    """
+
+    labels: tuple[int, ...]
+    n_communities: int
+    modularity: float
+
+    def members(self) -> list[list[int]]:
+        """Vertex lists per community, indexed by community label."""
+        groups: list[list[int]] = [[] for _ in range(self.n_communities)]
+        for vertex, label in enumerate(self.labels):
+            groups[label].append(vertex)
+        return groups
+
+
+class _Level:
+    """Working graph for one Louvain pass.
+
+    Unlike :class:`Graph`, aggregated levels carry self-loops (the internal
+    weight of a condensed community), stored in ``self_weight``.  The Louvain
+    convention counts a self-loop twice in a vertex's weighted degree.
+    """
+
+    __slots__ = ("adj", "self_weight", "degree", "two_m")
+
+    def __init__(self, adj: list[dict[int, float]], self_weight: list[float]):
+        self.adj = adj
+        self.self_weight = self_weight
+        self.degree = [
+            sum(neigh.values()) + 2.0 * self_weight[v] for v, neigh in enumerate(adj)
+        ]
+        self.two_m = sum(self.degree)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "_Level":
+        adj = [graph.neighbors(v) for v in range(graph.n_vertices)]
+        return cls(adj, [0.0] * graph.n_vertices)
+
+    @property
+    def n(self) -> int:
+        return len(self.adj)
+
+
+def louvain(graph: Graph, resolution: float = 1.0, min_gain: float = 1e-9) -> LouvainResult:
+    """Partition ``graph`` into communities by greedy modularity optimisation.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected graph with non-negative weights.
+    resolution:
+        Standard resolution parameter; 1.0 recovers plain modularity.
+    min_gain:
+        Minimum modularity gain for a vertex move, guarding against
+        floating-point churn.
+    """
+    for u, v, w in graph.edges():
+        if w < 0:
+            raise ValueError(
+                f"louvain requires non-negative weights, edge ({u},{v}) has {w}"
+            )
+
+    n = graph.n_vertices
+    membership = list(range(n))
+    level = _Level.from_graph(graph)
+
+    while True:
+        labels, improved = _one_level(level, resolution, min_gain)
+        compact = _compact_labels(labels)
+        membership = [compact[membership[v]] for v in range(n)]
+        if not improved:
+            break
+        level = _aggregate(level, compact)
+        if level.n <= 1:
+            break
+
+    compact = _compact_labels(membership)
+    return LouvainResult(
+        labels=tuple(compact),
+        n_communities=max(compact) + 1,
+        modularity=modularity(graph, compact),
+    )
+
+
+def _one_level(level: _Level, resolution: float, min_gain: float) -> tuple[list[int], bool]:
+    """One local-moving pass; returns (labels, whether anything moved)."""
+    n = level.n
+    labels = list(range(n))
+    community_degree = list(level.degree)
+    two_m = level.two_m
+    if two_m <= 0:
+        return labels, False
+
+    improved_any = False
+    moved = True
+    while moved:
+        moved = False
+        for v in range(n):
+            neighbors = level.adj[v]
+            if not neighbors:
+                continue
+            old = labels[v]
+            links: dict[int, float] = {}
+            for u, w in neighbors.items():
+                links[labels[u]] = links.get(labels[u], 0.0) + w
+
+            community_degree[old] -= level.degree[v]
+            base = links.get(old, 0.0) - resolution * level.degree[v] * community_degree[old] / two_m
+            best_label = old
+            best_gain = 0.0
+            # Deterministic candidate order; ties keep the smallest label.
+            for label in sorted(links):
+                if label == old:
+                    continue
+                gain = (
+                    links[label]
+                    - resolution * level.degree[v] * community_degree[label] / two_m
+                ) - base
+                if gain > best_gain + min_gain:
+                    best_gain = gain
+                    best_label = label
+            community_degree[best_label] += level.degree[v]
+            if best_label != old:
+                labels[v] = best_label
+                moved = True
+                improved_any = True
+    return labels, improved_any
+
+
+def _aggregate(level: _Level, labels: list[int]) -> _Level:
+    """Condense communities into super-vertices.
+
+    Intra-community weight (including existing self-loops) becomes the
+    self-loop of the condensed vertex, so later passes keep optimising the
+    same global modularity.
+    """
+    n_new = max(labels) + 1
+    adj: list[dict[int, float]] = [{} for _ in range(n_new)]
+    self_weight = [0.0] * n_new
+
+    for v, neigh in enumerate(level.adj):
+        cv = labels[v]
+        self_weight[cv] += level.self_weight[v]
+        for u, w in neigh.items():
+            if u < v:
+                continue  # visit each undirected edge once
+            cu = labels[u]
+            if cu == cv:
+                self_weight[cv] += w
+            else:
+                adj[cv][cu] = adj[cv].get(cu, 0.0) + w
+                adj[cu][cv] = adj[cu].get(cv, 0.0) + w
+    return _Level(adj, self_weight)
+
+
+def _compact_labels(labels: list[int]) -> list[int]:
+    """Relabel to 0..k-1 in order of first appearance."""
+    mapping: dict[int, int] = {}
+    compact = []
+    for label in labels:
+        if label not in mapping:
+            mapping[label] = len(mapping)
+        compact.append(mapping[label])
+    return compact

@@ -1,0 +1,45 @@
+"""Newman modularity of a graph partition.
+
+Modularity (Newman 2006, paper reference [58]) is the objective Louvain
+optimises.  For a weighted graph with total edge weight ``m`` it is
+
+    Q = (1 / 2m) * sum_{ij} [A_ij - d_i d_j / (2m)] * delta(c_i, c_j)
+
+where ``A`` is the weighted adjacency, ``d_i`` the weighted degree and
+``delta`` matches vertices in the same community.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .graph import Graph
+
+
+def modularity(graph: Graph, communities: Sequence[int]) -> float:
+    """Modularity of the partition given as a community label per vertex.
+
+    Vertices with no edges contribute nothing.  An empty graph (no edges)
+    has modularity 0 by convention.
+    """
+    if len(communities) != graph.n_vertices:
+        raise ValueError(
+            f"partition has {len(communities)} labels for {graph.n_vertices} vertices"
+        )
+    two_m = 2.0 * graph.total_weight()
+    if two_m <= 0:
+        return 0.0
+
+    internal: dict[int, float] = {}
+    degree_sum: dict[int, float] = {}
+    for v in range(graph.n_vertices):
+        label = communities[v]
+        degree_sum[label] = degree_sum.get(label, 0.0) + graph.weighted_degree(v)
+    for u, v, w in graph.edges():
+        if communities[u] == communities[v]:
+            internal[communities[u]] = internal.get(communities[u], 0.0) + w
+
+    q = 0.0
+    for label, d in degree_sum.items():
+        q += 2.0 * internal.get(label, 0.0) / two_m - (d / two_m) ** 2
+    return q

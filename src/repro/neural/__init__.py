@@ -1,0 +1,24 @@
+"""Minimal numpy neural substrate (dense nets, Adam) for the deep baselines."""
+
+from .layers import Dense, Layer, ReLU, Sigmoid, Tanh, make_activation
+from .losses import mse, per_row_squared_error
+from .mlp import MLP
+from .optim import Adam, Optimizer, SGD
+from .training import iterate_minibatches, train_reconstruction
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "make_activation",
+    "MLP",
+    "mse",
+    "per_row_squared_error",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "iterate_minibatches",
+    "train_reconstruction",
+]

@@ -1,0 +1,117 @@
+"""Dense layers and activations with manual backpropagation.
+
+The offline environment has no deep-learning framework, so the USAD and
+RCoders baselines run on this small numpy substrate.  Layers cache their
+forward inputs and expose ``backward`` returning the gradient with respect
+to the input while accumulating parameter gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Interface: forward/backward plus (possibly empty) parameter lists."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b`` on row-major batches.
+
+    Weights use Glorot-uniform initialisation from the provided RNG so runs
+    are reproducible.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        if in_features < 1 or out_features < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = rng.uniform(-limit, limit, (in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight += self._input.T @ grad
+        self.grad_bias += grad.sum(axis=0)
+        return grad @ self.weight.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._mask
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad * (1.0 - self._output * self._output)
+
+
+class Sigmoid(Layer):
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._output
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._output * (1.0 - self._output)
+
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid}
+
+
+def make_activation(name: str) -> Layer:
+    """Instantiate an activation by name ('relu', 'tanh', 'sigmoid')."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; known: {sorted(_ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,31 @@
+"""Losses for the numpy neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(prediction: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient with respect to ``prediction``.
+
+    The mean runs over every element of the batch, so the gradient is
+    ``2 (prediction - target) / size``.
+    """
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: prediction {prediction.shape} vs target {target.shape}"
+        )
+    diff = prediction - target
+    loss = float(np.mean(diff * diff))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def per_row_squared_error(prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Mean squared error per batch row (anomaly score per sample)."""
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: prediction {prediction.shape} vs target {target.shape}"
+        )
+    diff = prediction - target
+    return np.mean(diff * diff, axis=1)

@@ -1,0 +1,65 @@
+"""Multi-layer perceptron built from the layer substrate."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .layers import Dense, Layer, make_activation
+
+
+class MLP(Layer):
+    """Sequential dense network.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths including input and output, e.g. ``[64, 32, 8]``.
+    rng:
+        Generator used to initialise every layer (reproducibility).
+    activation:
+        Hidden activation name; applied between all consecutive dense
+        layers.
+    output_activation:
+        Optional activation after the last dense layer (e.g. ``"sigmoid"``
+        for decoders reconstructing min-max-scaled inputs).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+        output_activation: str | None = None,
+    ):
+        sizes = list(sizes)
+        if len(sizes) < 2:
+            raise ValueError("an MLP needs at least input and output sizes")
+        self.layers: list[Layer] = []
+        for i in range(len(sizes) - 1):
+            self.layers.append(Dense(sizes[i], sizes[i + 1], rng))
+            if i < len(sizes) - 2:
+                self.layers.append(make_activation(activation))
+        if output_activation is not None:
+            self.layers.append(make_activation(output_activation))
+        self.sizes = sizes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients()]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

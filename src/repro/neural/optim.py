@@ -1,0 +1,88 @@
+"""Optimisers for the numpy neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Updates parameters in place from their accumulated gradients."""
+
+    def __init__(self, parameters: list[np.ndarray], gradients: list[np.ndarray]):
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must pair up")
+        for p, g in zip(parameters, gradients):
+            if p.shape != g.shape:
+                raise ValueError(f"shape mismatch {p.shape} vs {g.shape}")
+        self._parameters = parameters
+        self._gradients = gradients
+
+    def zero_grad(self) -> None:
+        for grad in self._gradients:
+            grad[...] = 0.0
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        gradients: list[np.ndarray],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ):
+        super().__init__(parameters, gradients)
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in parameters]
+
+    def step(self) -> None:
+        for p, g, v in zip(self._parameters, self._gradients, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        gradients: list[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, gradients)
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self._parameters, self._gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            p -= self.lr * (m / correction1) / (np.sqrt(v / correction2) + self.eps)

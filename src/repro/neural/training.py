@@ -1,0 +1,61 @@
+"""Mini-batch iteration and a generic reconstruction trainer."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .losses import mse
+from .mlp import MLP
+from .optim import Adam
+
+
+def iterate_minibatches(
+    data: np.ndarray, batch_size: int, rng: np.random.Generator, shuffle: bool = True
+) -> Iterator[np.ndarray]:
+    """Yield row batches of ``data`` (last batch may be smaller)."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    indices = np.arange(data.shape[0])
+    if shuffle:
+        rng.shuffle(indices)
+    for start in range(0, indices.size, batch_size):
+        yield data[indices[start : start + batch_size]]
+
+
+def train_reconstruction(
+    model: MLP,
+    data: np.ndarray,
+    rng: np.random.Generator,
+    epochs: int = 30,
+    batch_size: int = 64,
+    lr: float = 1e-3,
+    callback: Callable[[int, float], None] | None = None,
+) -> list[float]:
+    """Train ``model`` to reconstruct its input with MSE + Adam.
+
+    Returns the per-epoch average losses.  ``callback(epoch, loss)`` can be
+    used for progress reporting or early stopping by raising StopIteration.
+    """
+    if data.ndim != 2:
+        raise ValueError(f"data must be (samples, features), got {data.shape}")
+    optimizer = Adam(model.parameters(), model.gradients(), lr=lr)
+    history = []
+    for epoch in range(epochs):
+        losses = []
+        for batch in iterate_minibatches(data, batch_size, rng):
+            optimizer.zero_grad()
+            output = model.forward(batch)
+            loss, grad = mse(output, batch)
+            model.backward(grad)
+            optimizer.step()
+            losses.append(loss)
+        epoch_loss = float(np.mean(losses))
+        history.append(epoch_loss)
+        if callback is not None:
+            try:
+                callback(epoch, epoch_loss)
+            except StopIteration:
+                break
+    return history

@@ -1,0 +1,24 @@
+"""Time-series substrate: MTS container, windowing, correlation, scaling."""
+
+from .correlation import autocorrelation, pearson, pearson_matrix, top_k_neighbors
+from .mts import MultivariateTimeSeries
+from .normalization import MinMaxScaler, StandardScaler, minmax_unit, zscore
+from .periodicity import estimate_mts_period, estimate_period
+from .windows import WindowSpec, iter_windows, window_matrix
+
+__all__ = [
+    "MultivariateTimeSeries",
+    "WindowSpec",
+    "iter_windows",
+    "window_matrix",
+    "pearson",
+    "pearson_matrix",
+    "top_k_neighbors",
+    "autocorrelation",
+    "StandardScaler",
+    "MinMaxScaler",
+    "zscore",
+    "minmax_unit",
+    "estimate_period",
+    "estimate_mts_period",
+]

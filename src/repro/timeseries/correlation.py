@@ -1,0 +1,116 @@
+"""Pearson correlation between sensor time series (paper Section III-B).
+
+TSG edges carry the Pearson correlation of two sensors' readings inside one
+window.  Constant sensors (zero variance within the window) have an undefined
+correlation; the paper's graphs simply never gain strong edges for them, so
+we define their correlation with everything as 0 rather than NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pearson_matrix(window: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlations of the rows of an ``(n, w)`` window.
+
+    Returns an ``(n, n)`` symmetric matrix with unit diagonal (except for
+    constant rows, whose whole row/column — including the diagonal — is 0,
+    signalling "no usable correlation information").
+
+    This is a vectorised re-implementation of :func:`numpy.corrcoef` with the
+    constant-row behaviour pinned down, because TSG construction depends on
+    it: a sensor that flat-lines must not keep phantom strong edges.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 2:
+        raise ValueError(f"window must be 2-D, got shape {window.shape}")
+    n, w = window.shape
+    if w < 2:
+        raise ValueError(f"window length must be >= 2 to correlate, got {w}")
+
+    centered = window - window.mean(axis=1, keepdims=True)
+    norms = np.sqrt((centered * centered).sum(axis=1))
+    constant = norms <= 1e-12
+
+    safe_norms = np.where(constant, 1.0, norms)
+    unit = centered / safe_norms[:, None]
+    corr = unit @ unit.T
+    # Clamp numerical overshoot so downstream thresholds behave.
+    np.clip(corr, -1.0, 1.0, out=corr)
+    np.fill_diagonal(corr, 1.0)
+
+    if constant.any():
+        corr[constant, :] = 0.0
+        corr[:, constant] = 0.0
+    return corr
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation of two 1-D series (0.0 if either is constant)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("pearson expects two 1-D arrays of equal length")
+    if x.size < 2:
+        raise ValueError("need at least 2 points to correlate")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    nx = np.sqrt((xc * xc).sum())
+    ny = np.sqrt((yc * yc).sum())
+    if nx <= 1e-12 or ny <= 1e-12:
+        return 0.0
+    return float(np.clip((xc @ yc) / (nx * ny), -1.0, 1.0))
+
+
+def top_k_neighbors(corr: np.ndarray, k: int) -> np.ndarray:
+    """Indices of each row's ``k`` most-correlated *other* rows.
+
+    Neighbours are ranked by absolute correlation, matching the paper's
+    pruning rule ``|w(e)| < tau`` which treats strong negative correlation as
+    informative structure too.
+
+    Returns an ``(n, k)`` integer array.  ``k`` must be < ``n``.
+    """
+    corr = np.asarray(corr, dtype=np.float64)
+    n = corr.shape[0]
+    if corr.shape != (n, n):
+        raise ValueError(f"corr must be square, got shape {corr.shape}")
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, n), got k={k} n={n}")
+
+    strength = np.abs(corr).copy()
+    np.fill_diagonal(strength, -np.inf)
+    # argpartition gives the top-k set in O(n); sort within it for
+    # deterministic ordering (strongest first, ties by index).
+    part = np.argpartition(-strength, kth=k - 1, axis=1)[:, :k]
+    row_idx = np.arange(n)[:, None]
+    order = np.lexsort((part, -strength[row_idx, part]), axis=1)
+    return part[row_idx, order]
+
+
+def autocorrelation(series: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Sample autocorrelation function of a 1-D series up to ``max_lag``.
+
+    Computed via FFT in O(T log T).  Index ``l`` of the result is the
+    autocorrelation at lag ``l``; index 0 is always 1 (or 0 for a constant
+    series).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("autocorrelation expects a 1-D series")
+    t = series.size
+    if t < 2:
+        raise ValueError("need at least 2 points")
+    if max_lag is None:
+        max_lag = t - 1
+    max_lag = min(max_lag, t - 1)
+
+    centered = series - series.mean()
+    var = centered @ centered
+    if var <= 1e-12:
+        return np.zeros(max_lag + 1)
+    size = 1 << int(np.ceil(np.log2(2 * t)))
+    spectrum = np.fft.rfft(centered, size)
+    acov = np.fft.irfft(spectrum * np.conjugate(spectrum), size)[: max_lag + 1]
+    return acov / var

@@ -1,0 +1,135 @@
+"""Container for sensor-based multivariate time series (MTS).
+
+The paper (Section III-A) represents an MTS ``T`` with ``n`` sensors as an
+``n x |T|`` matrix: one row per sensor, one column per time point.  This
+module provides :class:`MultivariateTimeSeries`, a thin validated wrapper
+around that matrix that the rest of the library builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MultivariateTimeSeries:
+    """An ``n``-sensor multivariate time series stored as an ``(n, T)`` matrix.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(n_sensors, length)``.  Rows are sensors, columns are
+        time points, matching the paper's ``T = (s_1, ..., s_n)^T`` layout.
+    sensor_names:
+        Optional human-readable names, one per sensor.  Defaults to
+        ``sensor_0 .. sensor_{n-1}``.
+
+    Notes
+    -----
+    The container is immutable by convention: ``values`` is stored with the
+    writeable flag cleared so accidental in-place edits raise instead of
+    silently corrupting shared data.
+    """
+
+    values: np.ndarray
+    sensor_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(
+                f"MTS values must be 2-D (n_sensors, length), got shape {values.shape}"
+            )
+        if values.shape[0] == 0 or values.shape[1] == 0:
+            raise ValueError(f"MTS must be non-empty, got shape {values.shape}")
+        if not np.isfinite(values).all():
+            raise ValueError("MTS values must be finite (no NaN/inf)")
+        values = values.copy()
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+
+        names = self.sensor_names
+        if not names:
+            names = tuple(f"sensor_{i}" for i in range(values.shape[0]))
+        else:
+            names = tuple(str(name) for name in names)
+            if len(names) != values.shape[0]:
+                raise ValueError(
+                    f"got {len(names)} sensor names for {values.shape[0]} sensors"
+                )
+            if len(set(names)) != len(names):
+                raise ValueError("sensor names must be unique")
+        object.__setattr__(self, "sensor_names", names)
+
+    @property
+    def n_sensors(self) -> int:
+        """Number of sensors ``n`` (rows)."""
+        return self.values.shape[0]
+
+    @property
+    def length(self) -> int:
+        """Number of time points ``|T|`` (columns)."""
+        return self.values.shape[1]
+
+    def __len__(self) -> int:
+        return self.length
+
+    def sensor(self, index: int) -> np.ndarray:
+        """Return the (read-only) time series of one sensor."""
+        return self.values[index]
+
+    def sensor_index(self, name: str) -> int:
+        """Return the row index of the sensor called ``name``."""
+        try:
+            return self.sensor_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown sensor name: {name!r}") from None
+
+    def slice_time(self, start: int, stop: int) -> "MultivariateTimeSeries":
+        """Return the sub-series covering time points ``[start, stop)``.
+
+        ``start``/``stop`` follow normal Python slicing, except that an empty
+        result is an error: a window of zero time points is never meaningful.
+        """
+        if not 0 <= start < stop <= self.length:
+            raise ValueError(
+                f"invalid time slice [{start}, {stop}) for length {self.length}"
+            )
+        return MultivariateTimeSeries(self.values[:, start:stop], self.sensor_names)
+
+    def select_sensors(self, indices: Sequence[int]) -> "MultivariateTimeSeries":
+        """Return the sub-series containing only the given sensor rows."""
+        indices = list(indices)
+        if not indices:
+            raise ValueError("select_sensors needs at least one sensor index")
+        names = tuple(self.sensor_names[i] for i in indices)
+        return MultivariateTimeSeries(self.values[indices, :], names)
+
+    def iter_sensors(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(name, series)`` pairs, one per sensor."""
+        for name, row in zip(self.sensor_names, self.values):
+            yield name, row
+
+    def concat(self, other: "MultivariateTimeSeries") -> "MultivariateTimeSeries":
+        """Append ``other`` after this series along the time axis.
+
+        Both series must have the same sensors in the same order.  Used to
+        stitch a historical (warm-up) segment onto a live segment.
+        """
+        if other.sensor_names != self.sensor_names:
+            raise ValueError("cannot concat MTS with different sensors")
+        return MultivariateTimeSeries(
+            np.hstack([self.values, other.values]), self.sensor_names
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence[float]],
+        sensor_names: Sequence[str] | None = None,
+    ) -> "MultivariateTimeSeries":
+        """Build an MTS from a sequence of per-sensor rows."""
+        return cls(np.asarray(rows, dtype=np.float64), tuple(sensor_names or ()))

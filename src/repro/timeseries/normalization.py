@@ -1,0 +1,100 @@
+"""Per-sensor scaling utilities.
+
+The baselines (LOF/ECOD/IForest/USAD/RCoders) and the univariate methods all
+assume comparably-scaled inputs; CAD itself is scale-invariant because
+Pearson correlation already removes per-sensor offset and scale.  Scalers
+are fitted on one segment (training / history) and applied to another so no
+test-time information leaks into the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StandardScaler:
+    """Per-row z-score scaler fitted on an ``(n, T)`` matrix."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"expected (n, T) matrix, got shape {values.shape}")
+        mean = values.mean(axis=1)
+        std = values.std(axis=1)
+        std = np.where(std <= 1e-12, 1.0, std)
+        return cls(mean=mean, std=std)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != self.mean.shape[0]:
+            raise ValueError(
+                f"scaler fitted on {self.mean.shape[0]} sensors, got {values.shape[0]}"
+            )
+        return (values - self.mean[:, None]) / self.std[:, None]
+
+    @classmethod
+    def fit_transform(cls, values: np.ndarray) -> np.ndarray:
+        return cls.fit(values).transform(values)
+
+
+@dataclass(frozen=True)
+class MinMaxScaler:
+    """Per-row min-max scaler mapping the fitted range to [0, 1]."""
+
+    low: np.ndarray
+    span: np.ndarray
+
+    @classmethod
+    def fit(cls, values: np.ndarray) -> "MinMaxScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"expected (n, T) matrix, got shape {values.shape}")
+        low = values.min(axis=1)
+        span = values.max(axis=1) - low
+        span = np.where(span <= 1e-12, 1.0, span)
+        return cls(low=low, span=span)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != self.low.shape[0]:
+            raise ValueError(
+                f"scaler fitted on {self.low.shape[0]} sensors, got {values.shape[0]}"
+            )
+        return (values - self.low[:, None]) / self.span[:, None]
+
+    @classmethod
+    def fit_transform(cls, values: np.ndarray) -> np.ndarray:
+        return cls.fit(values).transform(values)
+
+
+def zscore(series: np.ndarray) -> np.ndarray:
+    """Z-normalise a 1-D series; a constant series maps to all zeros."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("zscore expects a 1-D series")
+    std = series.std()
+    if std <= 1e-12:
+        return np.zeros_like(series)
+    return (series - series.mean()) / std
+
+
+def minmax_unit(scores: np.ndarray) -> np.ndarray:
+    """Rescale an arbitrary score vector into [0, 1].
+
+    Used to put every method's anomaly scores on the common scale the
+    threshold grid search (paper Section VI-A) expects.  A constant score
+    vector maps to all zeros ("nothing stands out").
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    low = scores.min()
+    span = scores.max() - low
+    if span <= 1e-12:
+        return np.zeros_like(scores)
+    return (scores - low) / span

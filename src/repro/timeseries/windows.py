@@ -1,0 +1,125 @@
+"""MTS partitioning into overlapping sliding windows (paper Section III-B).
+
+Given a sliding window ``w`` and step ``s`` (``s < w``), the long MTS ``T`` is
+partitioned into ``R = (|T| - w) / s + 1`` overlapping sub-matrices
+``T_r = T[1 + (r-1)s : w + (r-1)s]``.  When ``(|T| - w)`` is not divisible by
+``s`` the trailing columns are dropped, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .mts import MultivariateTimeSeries
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A validated (window, step) pair.
+
+    Parameters
+    ----------
+    window:
+        Window length ``w`` in time points; must be at least 2 so a Pearson
+        correlation is defined inside a window.
+    step:
+        Step ``s`` between window starts; the paper requires ``s < w`` so
+        consecutive windows overlap.
+    """
+
+    window: int
+    step: int
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError(f"window must be >= 2, got {self.window}")
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+        if self.step >= self.window:
+            raise ValueError(
+                f"step must be smaller than window (s < w), got s={self.step} w={self.window}"
+            )
+
+    def n_rounds(self, length: int) -> int:
+        """Number of rounds ``R`` for a series of the given length.
+
+        Trailing time points that do not fill a whole step are discarded,
+        mirroring the paper's trimming rule.
+        """
+        if length < self.window:
+            raise ValueError(
+                f"series of length {length} is shorter than window {self.window}"
+            )
+        return (length - self.window) // self.step + 1
+
+    def round_start(self, round_index: int) -> int:
+        """0-based start time point of round ``round_index`` (0-based)."""
+        if round_index < 0:
+            raise ValueError(f"round index must be >= 0, got {round_index}")
+        return round_index * self.step
+
+    def round_span(self, round_index: int) -> tuple[int, int]:
+        """Half-open ``[start, stop)`` time-point span of a round's window."""
+        start = self.round_start(round_index)
+        return start, start + self.window
+
+    def fresh_span(self, round_index: int) -> tuple[int, int]:
+        """The span of time points first covered by this round.
+
+        Round 0 introduces the whole window; every later round introduces
+        only its trailing ``step`` points.  Useful when converting
+        round-level decisions back to point-level labels without repeatedly
+        re-marking the overlap.
+        """
+        start, stop = self.round_span(round_index)
+        if round_index == 0:
+            return start, stop
+        return stop - self.step, stop
+
+    def covering_rounds(self, time_point: int, length: int) -> range:
+        """All round indices whose window covers ``time_point``.
+
+        Parameters
+        ----------
+        time_point:
+            0-based time index into the series.
+        length:
+            Total series length, needed to cap the last round.
+        """
+        if not 0 <= time_point < length:
+            raise ValueError(f"time point {time_point} outside series of length {length}")
+        total = self.n_rounds(length)
+        # Round r covers [r*s, r*s + w); solve for r.
+        low = max(0, -(-(time_point - self.window + 1) // self.step))
+        high = min(total - 1, time_point // self.step)
+        if high < low:
+            return range(0)
+        return range(low, high + 1)
+
+
+def iter_windows(
+    series: MultivariateTimeSeries, spec: WindowSpec
+) -> Iterator[np.ndarray]:
+    """Yield the raw ``(n, w)`` value matrix of each round in order.
+
+    The yielded arrays are read-only views into the underlying series, so
+    iterating is O(1) memory per round.
+    """
+    total = spec.n_rounds(series.length)
+    for r in range(total):
+        start, stop = spec.round_span(r)
+        yield series.values[:, start:stop]
+
+
+def window_matrix(
+    series: MultivariateTimeSeries, spec: WindowSpec, round_index: int
+) -> np.ndarray:
+    """Return the ``(n, w)`` value matrix of a single round."""
+    total = spec.n_rounds(series.length)
+    if not 0 <= round_index < total:
+        raise ValueError(f"round {round_index} outside [0, {total})")
+    start, stop = spec.round_span(round_index)
+    return series.values[:, start:stop]

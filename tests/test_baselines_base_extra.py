@@ -1,0 +1,57 @@
+"""Edge-case tests for the shared detector plumbing and USAD windowing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import AnomalyDetector
+from repro.baselines.usad import _window_rows
+from repro.timeseries import MultivariateTimeSeries
+
+
+class Minimal(AnomalyDetector):
+    """Smallest conforming detector, for interface tests."""
+
+    name = "minimal"
+
+    def fit(self, train):
+        self._fitted = True
+        return self
+
+    def score(self, test):
+        self._require_fitted("_fitted")
+        return np.zeros(test.length)
+
+
+class TestInterface:
+    def test_sensor_scores_default_none(self):
+        series = MultivariateTimeSeries(np.random.default_rng(0).random((2, 20)))
+        detector = Minimal().fit(series)
+        assert detector.sensor_scores(series) is None
+
+    def test_require_fitted_message_names_method(self):
+        series = MultivariateTimeSeries(np.zeros((2, 5)) + np.arange(5))
+        with pytest.raises(RuntimeError, match="minimal"):
+            Minimal().score(series)
+
+    def test_chained_fit_returns_self(self):
+        series = MultivariateTimeSeries(np.random.default_rng(0).random((2, 20)))
+        detector = Minimal()
+        assert detector.fit(series) is detector
+
+
+class TestWindowRows:
+    def test_shape(self):
+        values = np.arange(12.0).reshape(2, 6)
+        rows = _window_rows(values, window=3)
+        assert rows.shape == (4, 6)
+
+    def test_content_layout(self):
+        # Sensors are concatenated per window: [s0[w], s1[w]].
+        values = np.array([[0.0, 1.0, 2.0], [10.0, 11.0, 12.0]])
+        rows = _window_rows(values, window=2)
+        np.testing.assert_array_equal(rows[0], [0.0, 1.0, 10.0, 11.0])
+        np.testing.assert_array_equal(rows[1], [1.0, 2.0, 11.0, 12.0])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            _window_rows(np.zeros((2, 3)), window=5)

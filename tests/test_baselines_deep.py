@@ -1,0 +1,97 @@
+"""Tests for the neural baselines USAD and RCoders."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RCoders, USAD
+from repro.timeseries import MultivariateTimeSeries
+
+
+def correlated(seed=0, n=5, length=500):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    driver = np.sin(2 * np.pi * t / 30)
+    return np.vstack(
+        [driver * rng.uniform(0.7, 1.3) + 0.05 * rng.standard_normal(length) for _ in range(n)]
+    )
+
+
+@pytest.fixture(scope="module")
+def train():
+    return MultivariateTimeSeries(correlated())
+
+
+@pytest.fixture(scope="module")
+def anomalous():
+    values = correlated(seed=3, length=400)
+    values[2, 150:200] = 3.0 + 0.05 * np.random.default_rng(5).standard_normal(50)
+    return MultivariateTimeSeries(values)
+
+
+def small_usad(seed=0):
+    return USAD(window=4, latent=4, hidden=16, epochs=6, batch_size=64, seed=seed)
+
+
+def small_rcoders(seed=0):
+    return RCoders(n_members=2, epochs=8, seed=seed)
+
+
+class TestUSAD:
+    def test_scores_shape_and_range(self, train, anomalous):
+        scores = small_usad().fit(train).score(anomalous)
+        assert scores.shape == (anomalous.length,)
+        assert 0.0 <= scores.min() and scores.max() <= 1.0
+
+    def test_detects_level_anomaly(self, train, anomalous):
+        scores = small_usad().fit(train).score(anomalous)
+        inside = scores[150:200].mean()
+        outside = np.concatenate([scores[:150], scores[200:]]).mean()
+        assert inside > outside
+
+    def test_seed_reproducibility(self, train, anomalous):
+        a = small_usad(seed=4).fit(train).score(anomalous)
+        b = small_usad(seed=4).fit(train).score(anomalous)
+        np.testing.assert_allclose(a, b)
+
+    def test_seed_variation(self, train, anomalous):
+        a = small_usad(seed=0).fit(train).score(anomalous)
+        b = small_usad(seed=1).fit(train).score(anomalous)
+        assert not np.allclose(a, b)
+
+    def test_score_before_fit(self, anomalous):
+        with pytest.raises(RuntimeError):
+            small_usad().score(anomalous)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            USAD(window=1)
+        with pytest.raises(ValueError):
+            USAD(alpha=0.9, beta=0.5)
+
+
+class TestRCoders:
+    def test_scores_shape_and_range(self, train, anomalous):
+        scores = small_rcoders().fit(train).score(anomalous)
+        assert scores.shape == (anomalous.length,)
+        assert 0.0 <= scores.min() and scores.max() <= 1.0
+
+    def test_detects_level_anomaly(self, train, anomalous):
+        scores = small_rcoders().fit(train).score(anomalous)
+        assert scores[150:200].mean() > scores[:150].mean()
+
+    def test_sensor_attribution(self, train, anomalous):
+        matrix = small_rcoders().fit(train).sensor_scores(anomalous)
+        assert matrix.shape == (anomalous.n_sensors, anomalous.length)
+        in_event = matrix[:, 150:200].mean(axis=1)
+        assert np.argmax(in_event) == 2
+
+    def test_seed_reproducibility(self, train, anomalous):
+        a = small_rcoders(seed=9).fit(train).score(anomalous)
+        b = small_rcoders(seed=9).fit(train).score(anomalous)
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RCoders(n_members=0)
+        with pytest.raises(ValueError):
+            RCoders(latent_fraction=0.0)

@@ -1,0 +1,112 @@
+"""Tests for the method registry, the CAD adapter and sensor helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CADDetector,
+    METHOD_NAMES,
+    deterministic_methods,
+    make_detector,
+    normalize_scores,
+    sensors_from_scores,
+)
+from repro.core import CADConfig
+from repro.evaluation import SensorEvent
+from repro.timeseries import MultivariateTimeSeries
+
+
+class TestRegistry:
+    def test_all_methods_constructible(self):
+        for name in METHOD_NAMES:
+            detector = make_detector(name, seed=1)
+            assert detector.name == name
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            make_detector("Prophet")
+
+    def test_deterministic_flags_match(self):
+        deterministic = set(deterministic_methods())
+        for name in METHOD_NAMES:
+            detector = make_detector(name)
+            assert detector.deterministic == (name in deterministic)
+
+    def test_cad_config_passthrough(self):
+        config = CADConfig(window=50, step=5)
+        detector = make_detector("CAD", cad_config=config)
+        assert detector.config is config
+
+
+class TestCADDetector:
+    def test_fit_score(self, toy_config, broken_series):
+        history, test, (start, stop), affected = broken_series
+        detector = CADDetector(toy_config)
+        detector.fit(history)
+        scores = detector.score(test)
+        assert scores.shape == (test.length,)
+        assert detector.last_result is not None
+
+    def test_suggested_config_when_none(self, broken_series):
+        history, test, _, _ = broken_series
+        detector = CADDetector()
+        detector.fit(history)
+        scores = detector.score(test)
+        assert scores.shape == (test.length,)
+
+    def test_predicted_events(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        detector = CADDetector(toy_config)
+        detector.fit(history)
+        detector.score(test)
+        events = detector.predicted_events()
+        for start, stop, sensors in events:
+            assert start < stop
+            assert isinstance(sensors, frozenset)
+
+    def test_predicted_events_before_score(self, toy_config):
+        with pytest.raises(RuntimeError):
+            CADDetector(toy_config).predicted_events()
+
+    def test_sensor_scores_shape(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        detector = CADDetector(toy_config)
+        detector.fit(history)
+        matrix = detector.sensor_scores(test)
+        assert matrix.shape == (12, test.length)
+
+    def test_invalid_mark(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        detector = CADDetector(toy_config, mark="bogus")
+        detector.fit(history)
+        with pytest.raises(ValueError):
+            detector.score(test)
+
+
+class TestNormalizeScores:
+    def test_range(self):
+        scores = normalize_scores(np.array([3.0, 7.0, 5.0]))
+        assert scores.min() == 0.0 and scores.max() == 1.0
+
+
+class TestSensorsFromScores:
+    def test_elevated_sensor_flagged(self):
+        matrix = np.full((3, 100), 0.1)
+        matrix[1, 40:60] = 1.0
+        events = [SensorEvent(40, 60, frozenset({1}))]
+        result = sensors_from_scores(matrix, events, ratio=2.0)
+        assert result == [(40, 60, frozenset({1}))]
+
+    def test_quiet_matrix_flags_nothing(self):
+        matrix = np.full((3, 100), 0.1)
+        events = [SensorEvent(40, 60, frozenset({1}))]
+        result = sensors_from_scores(matrix, events)
+        assert result[0][2] == frozenset()
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            sensors_from_scores(np.zeros((2, 10)), [], ratio=0.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            sensors_from_scores(np.zeros(10), [])

@@ -1,0 +1,196 @@
+"""Tests for the univariate methods and the MTS adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    NormA,
+    SAND,
+    Series2Graph,
+    StreamingSAND,
+    UnivariateAdapter,
+    spread_to_points,
+    subsequences,
+)
+from repro.timeseries import MultivariateTimeSeries
+
+
+def periodic_with_anomaly(seed=0, length=1200, span=(700, 760)):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.sin(2 * np.pi * t / 24) + 0.05 * rng.standard_normal(length)
+    series[span[0] : span[1]] = 1.5 + 0.05 * rng.standard_normal(span[1] - span[0])
+    return series, span
+
+
+def clean_periodic(seed=1, length=1200):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    return np.sin(2 * np.pi * t / 24) + 0.05 * rng.standard_normal(length)
+
+
+class TestHelpers:
+    def test_subsequences_shape(self):
+        subs = subsequences(np.arange(10.0), 4, stride=2)
+        assert subs.shape == (4, 4)
+        np.testing.assert_array_equal(subs[1], [2, 3, 4, 5])
+
+    def test_subsequences_invalid(self):
+        with pytest.raises(ValueError):
+            subsequences(np.arange(5.0), 10)
+        with pytest.raises(ValueError):
+            subsequences(np.arange(5.0), 2, stride=0)
+
+    def test_spread_to_points_max_pools(self):
+        points = spread_to_points(np.array([1.0, 3.0]), length=6, window=3, stride=2)
+        np.testing.assert_array_equal(points, [1, 1, 3, 3, 3, 0])
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: Series2Graph(pattern_length=24),
+        lambda: SAND(pattern_length=24, seed=0),
+        lambda: StreamingSAND(pattern_length=24, seed=0),
+        lambda: NormA(pattern_length=24, seed=0),
+    ],
+    ids=["S2G", "SAND", "SAND*", "NormA"],
+)
+class TestUnivariateCommon:
+    def test_scores_anomaly_above_normal(self, factory):
+        train = clean_periodic()
+        test, (start, stop) = periodic_with_anomaly()
+        detector = factory()
+        detector.fit(train)
+        scores = detector.score(test)
+        assert scores.shape == (test.size,)
+        inside = scores[start:stop].mean()
+        outside = np.concatenate([scores[:start], scores[stop:]]).mean()
+        assert inside > outside
+
+    def test_score_before_fit(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().score(clean_periodic())
+
+
+class TestS2G:
+    def test_deterministic(self):
+        train = clean_periodic()
+        test, _ = periodic_with_anomaly()
+        a = Series2Graph(pattern_length=24)
+        a.fit(train)
+        b = Series2Graph(pattern_length=24)
+        b.fit(train)
+        np.testing.assert_array_equal(a.score(test), b.score(test))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Series2Graph(pattern_length=2)
+        with pytest.raises(ValueError):
+            Series2Graph(n_bins=2)
+
+    def test_short_train_rejected(self):
+        with pytest.raises(ValueError):
+            Series2Graph(pattern_length=24).fit(np.zeros(20))
+
+
+class TestSandVariants:
+    def test_sand_centroids_weighted(self):
+        detector = SAND(pattern_length=24, n_clusters=3, seed=0)
+        detector.fit(clean_periodic())
+        assert detector._centroids.shape[0] == 3
+        assert detector._weights.sum() > 0
+
+    def test_streaming_updates_model(self):
+        detector = StreamingSAND(pattern_length=24, n_clusters=2, seed=0)
+        detector.fit(clean_periodic())
+        before = detector._centroids.copy()
+        test, _ = periodic_with_anomaly()
+        detector.score(test)
+        after = detector._centroids
+        assert before.shape != after.shape or not np.allclose(before, after)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            StreamingSAND(alpha=0.0)
+
+    def test_invalid_max_centroids(self):
+        with pytest.raises(ValueError):
+            StreamingSAND(n_clusters=8, max_centroids=4)
+
+
+class TestNorma:
+    def test_weights_normalised(self):
+        detector = NormA(pattern_length=24, seed=0)
+        detector.fit(clean_periodic())
+        assert detector._weights.sum() == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NormA(pattern_length=2)
+        with pytest.raises(ValueError):
+            NormA(n_motifs=0)
+
+    def test_short_test_rejected(self):
+        detector = NormA(pattern_length=24, seed=0)
+        detector.fit(clean_periodic())
+        with pytest.raises(ValueError):
+            detector.score(np.zeros(10))
+
+
+class TestAdapter:
+    def make_mts(self, with_anomaly):
+        rows = []
+        span = None
+        for i in range(3):
+            if with_anomaly:
+                row, span = periodic_with_anomaly(seed=i)
+            else:
+                row = clean_periodic(seed=i)
+            rows.append(row)
+        return MultivariateTimeSeries(np.vstack(rows)), span
+
+    def test_adapter_runs_per_sensor_and_averages(self):
+        train, _ = self.make_mts(False)
+        test, span = self.make_mts(True)
+        adapter = UnivariateAdapter(
+            lambda pattern, i: NormA(pattern_length=pattern, seed=i),
+            name="NormA",
+            deterministic=False,
+        )
+        adapter.fit(train)
+        assert adapter.pattern_length is not None
+        scores = adapter.score(test)
+        assert scores.shape == (test.length,)
+        assert scores[span[0] : span[1]].mean() > scores[: span[0]].mean()
+
+    def test_adapter_pattern_estimated_from_train(self):
+        train, _ = self.make_mts(False)
+        adapter = UnivariateAdapter(
+            lambda pattern, i: NormA(pattern_length=pattern, seed=i),
+            name="NormA",
+            deterministic=False,
+        )
+        adapter.fit(train)
+        assert 8 <= adapter.pattern_length <= 128
+
+    def test_adapter_sensor_mismatch(self):
+        train, _ = self.make_mts(False)
+        adapter = UnivariateAdapter(
+            lambda pattern, i: Series2Graph(pattern_length=pattern),
+            name="S2G",
+            deterministic=True,
+        )
+        adapter.fit(train)
+        with pytest.raises(ValueError):
+            adapter.score(MultivariateTimeSeries(np.zeros((5, 500))))
+
+    def test_adapter_score_before_fit(self):
+        adapter = UnivariateAdapter(
+            lambda pattern, i: Series2Graph(pattern_length=pattern),
+            name="S2G",
+            deterministic=True,
+        )
+        test, _ = self.make_mts(True)
+        with pytest.raises(RuntimeError):
+            adapter.score(test)

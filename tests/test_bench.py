@@ -1,0 +1,86 @@
+"""Tests for the benchmark harness (runner caching, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_series, format_table, n_repeats, run_method
+from repro.bench.reporting import _cell
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["Method", "F1"],
+            [["CAD", 95.0], ["LOF", 76.2]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Method" in lines[1]
+        assert "CAD" in lines[3]
+        # All data rows align to the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_series(self):
+        text = format_series("F1 vs n", [1, 2], [0.5, 0.75])
+        assert "F1 vs n" in text
+        assert "0.8" in text or "0.7" in text
+
+    def test_cell_float_formatting(self):
+        assert _cell(95.04) == "95.0"
+        assert _cell(1.234) == "1.23"
+        assert _cell(0.01) == "0.01"
+        assert _cell("x") == "x"
+        assert _cell(7) == "7"
+
+
+class TestRunner:
+    def test_n_repeats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "5")
+        assert n_repeats() == 5
+        monkeypatch.setenv("REPRO_REPEATS", "0")
+        assert n_repeats() == 1
+
+    def test_run_method_caches(self, monkeypatch, tmp_path):
+        # Point the disk cache at a temp dir so this test is hermetic.
+        import repro.bench.runner as runner
+
+        monkeypatch.setattr(runner, "_CACHE_DIR", tmp_path)
+        monkeypatch.setattr(runner, "_MEMORY_CACHE", {})
+        first = runner.run_method("ECOD", "smd-sim-05", seed=0)
+        assert (tmp_path / "ECOD__smd-sim-05__0.npz").exists()
+        # Clear the memory cache: the second call must hit the disk cache.
+        monkeypatch.setattr(runner, "_MEMORY_CACHE", {})
+        second = runner.run_method("ECOD", "smd-sim-05", seed=0)
+        np.testing.assert_array_equal(first.scores, second.scores)
+        assert second.fit_seconds == first.fit_seconds
+
+    def test_star_in_method_name_is_safe(self, monkeypatch, tmp_path):
+        import repro.bench.runner as runner
+
+        path = runner._cache_path(("SAND*", "x", 0))
+        assert "*" not in path.name
+
+    def test_probe_rc_level_in_unit_interval(self):
+        from repro.bench import probe_rc_level
+        from repro.datasets import load_dataset
+
+        level = probe_rc_level(load_dataset("smd-sim-05"))
+        assert 0.0 < level < 1.0
+
+    def test_tuned_config_cached_on_disk(self, monkeypatch, tmp_path):
+        import repro.bench.runner as runner
+        from repro.datasets import load_dataset
+
+        monkeypatch.setattr(runner, "_CACHE_DIR", tmp_path)
+        monkeypatch.setattr(runner, "_THETA_CACHE", {})
+        dataset = load_dataset("smd-sim-05")
+        first = runner.tuned_cad_config(dataset)
+        assert (tmp_path / "theta__smd-sim-05.txt").exists()
+        monkeypatch.setattr(runner, "_THETA_CACHE", {})
+        second = runner.tuned_cad_config(dataset)
+        assert second.theta == pytest.approx(first.theta)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_detect_defaults(self):
+        args = build_parser().parse_args(["detect", "--dataset", "psm-sim"])
+        assert args.theta is None
+        assert args.top_causes == 5
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--dataset", "nope"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_datasets_lists_everything(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "psm-sim" in out
+        assert "is5-sim" in out
+        assert "1266 sensors" in out
+
+    def test_generate_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "data.npz"
+        assert main(["generate", "--dataset", "smd-sim-02", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.datasets import load_dataset_file
+
+        dataset = load_dataset_file(out_path)
+        assert dataset.name == "smd-sim-02"
+
+    def test_detect_prints_scores(self, capsys):
+        assert main(["detect", "--dataset", "smd-sim-02", "--theta", "0.12"]) == 0
+        out = capsys.readouterr().out
+        assert "F1_PA" in out
+        assert "F1_DPA" in out
+
+    def test_compare_small(self, capsys):
+        assert main(
+            ["compare", "--dataset", "smd-sim-02", "--methods", "ECOD,HBOS"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ECOD" in out and "HBOS" in out

@@ -1,0 +1,200 @@
+"""Tests for the CAD detector (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CAD, Anomaly, CADConfig, assemble_anomalies
+from repro.core.result import RoundRecord
+from repro.timeseries import MultivariateTimeSeries, WindowSpec
+
+
+class TestBasics:
+    def test_needs_two_sensors(self, toy_config):
+        with pytest.raises(ValueError):
+            CAD(toy_config, 1)
+
+    def test_spec(self, toy_config):
+        detector = CAD(toy_config, 12)
+        assert detector.spec == WindowSpec(80, 8)
+
+    def test_wrong_sensor_count(self, toy_config, toy_values):
+        detector = CAD(toy_config, 5)
+        with pytest.raises(ValueError, match="sensors"):
+            detector.detect(MultivariateTimeSeries(toy_values))
+
+    def test_window_shape_checked(self, toy_config):
+        detector = CAD(toy_config, 12)
+        with pytest.raises(ValueError, match="shape"):
+            detector.process_window(np.zeros((12, 50)))
+
+
+class TestQuietData:
+    def test_no_anomalies_on_stable_correlations(self, toy_config, toy_values):
+        history = MultivariateTimeSeries(toy_values[:, :1000])
+        live = MultivariateTimeSeries(toy_values[:, 1000:])
+        detector = CAD(toy_config, 12)
+        detector.warm_up(history)
+        result = detector.detect(live)
+        # Stable community structure -> nearly all rounds quiet.
+        abnormal = sum(record.abnormal for record in result.rounds)
+        assert abnormal <= len(result.rounds) * 0.05
+
+    def test_warm_up_counts_rounds(self, toy_config, toy_values):
+        history = MultivariateTimeSeries(toy_values[:, :1000])
+        detector = CAD(toy_config, 12)
+        variations = detector.warm_up(history)
+        expected = WindowSpec(80, 8).n_rounds(1000)
+        assert len(variations) == expected
+        assert detector.rounds_processed == expected
+
+
+class TestAnomalyDetection:
+    def test_detects_correlation_break(self, toy_config, broken_series):
+        history, test, (start, stop), affected = broken_series
+        detector = CAD(toy_config, 12)
+        detector.warm_up(history)
+        result = detector.detect(test)
+        assert result.anomalies, "the correlation break must be detected"
+        # At least one detected anomaly overlaps (or trails within one
+        # window of) the injected span.
+        margin = toy_config.window
+        hits = [
+            a
+            for a in result.anomalies
+            if a.start < stop + margin and start - margin < a.stop
+        ]
+        assert hits
+
+    def test_affected_sensors_recovered(self, toy_config, broken_series):
+        history, test, (start, stop), affected = broken_series
+        detector = CAD(toy_config, 12)
+        detector.warm_up(history)
+        result = detector.detect(test)
+        flagged = result.abnormal_sensors()
+        assert affected & flagged, "at least one injected sensor must be flagged"
+
+    def test_deterministic(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        outputs = []
+        for _ in range(2):
+            detector = CAD(toy_config, 12)
+            detector.warm_up(history)
+            result = detector.detect(test)
+            outputs.append(
+                [(a.start, a.stop, tuple(sorted(a.sensors))) for a in result.anomalies]
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_detect_without_warmup(self, toy_config, broken_series):
+        _, test, _, _ = broken_series
+        detector = CAD(toy_config, 12)
+        result = detector.detect(test)
+        assert len(result.rounds) == WindowSpec(80, 8).n_rounds(test.length)
+
+    def test_reset(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        detector = CAD(toy_config, 12)
+        detector.warm_up(history)
+        detector.reset()
+        assert detector.rounds_processed == 0
+        assert detector.moments == (0.0, 0.0)
+
+
+class TestRoundRecords:
+    def test_records_rebased(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        detector = CAD(toy_config, 12)
+        detector.warm_up(history)
+        result = detector.detect(test)
+        assert result.rounds[0].index == 0
+        assert result.rounds[0].start == 0
+        assert result.rounds[-1].stop <= test.length
+
+    def test_moments_are_pre_push(self, toy_config, toy_values):
+        """Each record's mean/std must exclude the round's own n_r."""
+        series = MultivariateTimeSeries(toy_values)
+        detector = CAD(toy_config, 12)
+        result = detector.detect(series)
+        running = []
+        for record in result.rounds:
+            if running:
+                assert record.mean == pytest.approx(np.mean(running))
+            running.append(record.n_variations)
+
+
+class TestAssembleAnomalies:
+    def spec(self):
+        return WindowSpec(10, 2)
+
+    def record(self, index, abnormal, variations=frozenset(), outliers=frozenset()):
+        start, stop = self.spec().round_span(index)
+        return RoundRecord(
+            index=index,
+            start=start,
+            stop=stop,
+            n_variations=len(variations),
+            mean=0.0,
+            std=1.0,
+            deviation=2.0 if abnormal else 0.0,
+            abnormal=abnormal,
+            outliers=frozenset(outliers),
+            variations=frozenset(variations),
+            n_communities=2,
+        )
+
+    def test_merges_consecutive_rounds(self):
+        records = [
+            self.record(0, False),
+            self.record(1, True, {1}),
+            self.record(2, True, {2}),
+            self.record(3, False),
+        ]
+        anomalies = assemble_anomalies(records, self.spec())
+        assert len(anomalies) == 1
+        assert anomalies[0].rounds == (1, 2)
+        assert anomalies[0].sensors == frozenset({1, 2})
+
+    def test_splits_on_gap(self):
+        records = [
+            self.record(0, True, {1}),
+            self.record(1, False),
+            self.record(2, True, {2}),
+        ]
+        anomalies = assemble_anomalies(records, self.spec())
+        assert len(anomalies) == 2
+
+    def test_flushes_trailing(self):
+        records = [self.record(0, True, {3})]
+        anomalies = assemble_anomalies(records, self.spec())
+        assert len(anomalies) == 1
+
+    def test_outlier_attribution(self):
+        records = [self.record(0, True, {1}, outliers={1, 5})]
+        transitions = assemble_anomalies(records, self.spec(), attribution="transitions")
+        literal = assemble_anomalies(records, self.spec(), attribution="outliers")
+        assert transitions[0].sensors == frozenset({1})
+        assert literal[0].sensors == frozenset({1, 5})
+
+    def test_invalid_attribution(self):
+        with pytest.raises(ValueError):
+            assemble_anomalies([], self.spec(), attribution="bogus")
+
+    def test_span_from_fresh_start_to_window_end(self):
+        records = [self.record(2, True, {1}), self.record(3, True, {1})]
+        anomaly = assemble_anomalies(records, self.spec())[0]
+        assert anomaly.start == self.spec().fresh_span(2)[0]
+        assert anomaly.stop == self.spec().round_span(3)[1]
+
+
+class TestAnomalyDataclass:
+    def test_rejects_non_consecutive_rounds(self):
+        with pytest.raises(ValueError, match="consecutive"):
+            Anomaly(sensors=frozenset({1}), rounds=(1, 3), start=0, stop=10)
+
+    def test_rejects_empty_rounds(self):
+        with pytest.raises(ValueError):
+            Anomaly(sensors=frozenset({1}), rounds=(), start=0, stop=10)
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            Anomaly(sensors=frozenset({1}), rounds=(1,), start=10, stop=10)

@@ -1,0 +1,116 @@
+"""Tests for DetectionResult's point-level projections."""
+
+import numpy as np
+import pytest
+
+from repro.core import CAD, DetectionResult
+from repro.core.result import RoundRecord
+from repro.timeseries import MultivariateTimeSeries, WindowSpec
+
+
+def record(index, spec, abnormal, deviation, sensors=frozenset()):
+    start, stop = spec.round_span(index)
+    return RoundRecord(
+        index=index,
+        start=start,
+        stop=stop,
+        n_variations=len(sensors),
+        mean=0.0,
+        std=1.0,
+        deviation=deviation,
+        abnormal=abnormal,
+        outliers=frozenset(sensors),
+        variations=frozenset(sensors),
+        n_communities=1,
+    )
+
+
+@pytest.fixture
+def result():
+    spec = WindowSpec(10, 2)
+    records = [
+        record(0, spec, False, 0.1),
+        record(1, spec, False, 0.2),
+        record(2, spec, True, 2.0, {3}),
+        record(3, spec, False, 0.0),
+    ]
+    from repro.core import assemble_anomalies
+
+    anomalies = assemble_anomalies(records, spec)
+    return DetectionResult(anomalies, records, spec, length=16, n_sensors=5)
+
+
+class TestPointLabels:
+    def test_fresh_marks_only_new_slice(self, result):
+        labels = result.point_labels("fresh")
+        # Round 2 fresh span is [12, 14).
+        assert labels[12] == 1 and labels[13] == 1
+        assert labels[:12].sum() == 0
+        assert labels[14:].sum() == 0
+
+    def test_window_marks_whole_window(self, result):
+        labels = result.point_labels("window")
+        # Round 2 window is [4, 14).
+        assert labels[4:14].sum() == 10
+        assert labels[:4].sum() == 0
+
+    def test_invalid_mark(self, result):
+        with pytest.raises(ValueError):
+            result.point_labels("bogus")
+
+
+class TestPointScores:
+    def test_scores_bounded(self, result):
+        scores = result.point_scores()
+        assert scores.min() >= 0.0
+        assert scores.max() < 1.0
+
+    def test_deviation_one_maps_to_half(self, result):
+        scores = result.point_scores()
+        # Round 2 has deviation 2.0 -> squashed 2/3 at its fresh points.
+        assert scores[12] == pytest.approx(2 / 3)
+
+    def test_three_sigma_boundary_is_half(self):
+        spec = WindowSpec(10, 2)
+        records = [record(0, spec, True, 1.0, {0})]
+        from repro.core import assemble_anomalies
+
+        res = DetectionResult(
+            assemble_anomalies(records, spec), records, spec, 12, 2
+        )
+        assert res.point_scores().max() == pytest.approx(0.5)
+
+    def test_max_over_covering_rounds(self, result):
+        scores = result.point_scores("window")
+        # Points in round 2's window take the highest (round 2) squash.
+        assert scores[10] == pytest.approx(2 / 3)
+
+
+class TestSensorOutputs:
+    def test_abnormal_sensors(self, result):
+        assert result.abnormal_sensors() == frozenset({3})
+
+    def test_sensor_indicator(self, result):
+        np.testing.assert_array_equal(result.sensor_indicator(), [0, 0, 0, 1, 0])
+
+    def test_variation_series(self, result):
+        np.testing.assert_array_equal(result.variation_series(), [0, 0, 1, 0])
+
+    def test_repr(self, result):
+        assert "n_anomalies=1" in repr(result)
+
+
+class TestScoresMatchDecisions:
+    def test_labels_iff_deviation_at_least_one(self, toy_config, broken_series):
+        """point_labels marks exactly the fresh spans of abnormal rounds."""
+        history, test, _, _ = broken_series
+        detector = CAD(toy_config, 12)
+        detector.warm_up(history)
+        result = detector.detect(test)
+        labels = result.point_labels("fresh")
+        expected = np.zeros(test.length, dtype=np.int8)
+        for rec in result.rounds:
+            if rec.abnormal:
+                a, b = result.spec.fresh_span(rec.index)
+                expected[a : min(b, test.length)] = 1
+        np.testing.assert_array_equal(labels, expected)

@@ -1,0 +1,77 @@
+"""Tests for the streaming front-end (paper Section IV-F)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CAD, StreamingCAD
+from repro.timeseries import MultivariateTimeSeries, WindowSpec
+
+
+class TestPushMechanics:
+    def test_no_record_before_first_window(self, toy_config):
+        stream = StreamingCAD(toy_config, 12)
+        for _ in range(toy_config.window - 1):
+            assert stream.push(np.zeros(12)) is None
+
+    def test_record_cadence(self, toy_config, toy_values):
+        stream = StreamingCAD(toy_config, 12)
+        records = stream.push_many(toy_values[:, :400])
+        expected = WindowSpec(toy_config.window, toy_config.step).n_rounds(400)
+        assert len(records) == expected
+
+    def test_wrong_sample_width(self, toy_config):
+        stream = StreamingCAD(toy_config, 12)
+        with pytest.raises(ValueError):
+            stream.push(np.zeros(5))
+
+    def test_push_many_shape_check(self, toy_config):
+        stream = StreamingCAD(toy_config, 12)
+        with pytest.raises(ValueError):
+            stream.push_many(np.zeros((5, 100)))
+
+    def test_samples_seen(self, toy_config, toy_values):
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, :250])
+        assert stream.samples_seen == 250
+
+
+class TestEquivalenceWithBatch:
+    def test_same_variations_as_batch_detect(self, toy_config, toy_values):
+        """Streaming must reproduce the batch detector's rounds exactly."""
+        series = MultivariateTimeSeries(toy_values[:, :1200])
+
+        batch = CAD(toy_config, 12)
+        batch_result = batch.detect(series)
+
+        stream = StreamingCAD(toy_config, 12)
+        records = stream.push_many(series.values)
+
+        assert len(records) == len(batch_result.rounds)
+        for streamed, batched in zip(records, batch_result.rounds):
+            assert streamed.n_variations == batched.n_variations
+            assert streamed.outliers == batched.outliers
+            assert streamed.abnormal == batched.abnormal
+
+    def test_warm_up_carries_state(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        stream = StreamingCAD(toy_config, 12)
+        stream.warm_up(history)
+
+        batch = CAD(toy_config, 12)
+        batch.warm_up(history)
+        batch_result = batch.detect(test)
+
+        records = stream.push_many(test.values)
+        assert [r.abnormal for r in records] == [
+            r.abnormal for r in batch_result.rounds
+        ]
+
+
+class TestAlarms:
+    def test_alarm_generator_yields_abnormal_only(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        stream = StreamingCAD(toy_config, 12)
+        stream.warm_up(history)
+        alarms = list(stream.alarms(iter(test.values.T)))
+        assert all(record.abnormal for record in alarms)
+        assert alarms, "the injected break should raise at least one alarm"

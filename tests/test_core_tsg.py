@@ -1,0 +1,60 @@
+"""Tests for Time-Series Graph construction (paper Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_tsg, tsg_sequence
+from repro.timeseries import MultivariateTimeSeries, WindowSpec, iter_windows
+
+
+def correlated_window(seed=0, n=6, w=60):
+    """Two 3-sensor groups driven by independent signals."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(w)
+    a = np.sin(2 * np.pi * t / 11)
+    b = rng.standard_normal(w).cumsum()
+    rows = []
+    for i in range(n):
+        driver = a if i < n // 2 else b
+        rows.append(driver * rng.uniform(0.9, 1.1) + 0.01 * rng.standard_normal(w))
+    return np.vstack(rows)
+
+
+class TestBuildTsg:
+    def test_vertices_match_sensors(self):
+        tsg = build_tsg(correlated_window(), k=2, tau=0.5)
+        assert tsg.n_vertices == 6
+
+    def test_groups_internally_connected(self):
+        tsg = build_tsg(correlated_window(), k=2, tau=0.5)
+        for u, v, w in tsg.edges():
+            assert abs(w) >= 0.5
+        # Every vertex keeps at least one strong intra-group edge.
+        for v in range(6):
+            assert tsg.degree(v) >= 1
+
+    def test_tau_prunes(self):
+        window = correlated_window()
+        loose = build_tsg(window, k=5, tau=0.0)
+        strict = build_tsg(window, k=5, tau=0.9)
+        assert strict.n_edges <= loose.n_edges
+
+    def test_weights_are_signed_correlations(self):
+        window = correlated_window()
+        window[1] = -window[0]  # perfect anti-correlation
+        tsg = build_tsg(window, k=2, tau=0.5)
+        assert tsg.weight(0, 1) == pytest.approx(-1.0, abs=1e-9)
+
+    def test_k_must_be_valid(self):
+        with pytest.raises(ValueError):
+            build_tsg(correlated_window(), k=6, tau=0.5)
+
+
+class TestTsgSequence:
+    def test_one_graph_per_window(self):
+        values = np.vstack([correlated_window(seed=i).ravel()[:200] for i in range(4)])
+        series = MultivariateTimeSeries(values)
+        spec = WindowSpec(50, 10)
+        graphs = list(tsg_sequence(iter_windows(series, spec), k=2, tau=0.1))
+        assert len(graphs) == spec.n_rounds(200)
+        assert all(g.n_vertices == 4 for g in graphs)

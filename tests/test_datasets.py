@@ -1,0 +1,218 @@
+"""Tests for the dataset simulator, anomaly injection, registry and IO."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ANOMALY_TYPES,
+    AnomalySpec,
+    Dataset,
+    NetworkConfig,
+    N_SMD_SUBSETS,
+    SensorNetworkSimulator,
+    build_dataset,
+    dataset_names,
+    export_csv,
+    get_spec,
+    import_csv,
+    load_dataset_file,
+    save_dataset,
+    smd_subset_names,
+)
+from repro.timeseries import pearson_matrix
+
+
+def small_simulator(seed=0):
+    return SensorNetworkSimulator(
+        NetworkConfig(n_sensors=12, n_communities=3, seed=seed)
+    )
+
+
+class TestAnomalySpec:
+    def test_valid(self):
+        spec = AnomalySpec(10, 20, (1, 2), "decouple")
+        assert spec.length == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": 10, "stop": 10, "sensors": (1,), "kind": "decouple"},
+            {"start": -1, "stop": 5, "sensors": (1,), "kind": "decouple"},
+            {"start": 0, "stop": 5, "sensors": (), "kind": "decouple"},
+            {"start": 0, "stop": 5, "sensors": (1, 1), "kind": "decouple"},
+            {"start": 0, "stop": 5, "sensors": (1,), "kind": "bogus"},
+            {"start": 0, "stop": 5, "sensors": (1,), "kind": "stuck", "magnitude": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            AnomalySpec(**kwargs)
+
+    def test_onset_without_propagation(self):
+        spec = AnomalySpec(10, 50, (1, 2, 3), "decouple", propagate=False)
+        assert all(spec.onset(s) == 10 for s in (1, 2, 3))
+
+    def test_onset_with_propagation_staggered(self):
+        spec = AnomalySpec(10, 50, (1, 2, 3), "decouple", propagate=True)
+        onsets = [spec.onset(s) for s in (1, 2, 3)]
+        assert onsets[0] == 10
+        assert onsets == sorted(onsets)
+        assert onsets[-1] <= 10 + 20  # within the first half
+
+
+class TestSimulator:
+    def test_deterministic_given_seed(self):
+        a = small_simulator(5).generate(500)
+        b = small_simulator(5).generate(500)
+        np.testing.assert_array_equal(a.series.values, b.series.values)
+
+    def test_different_seeds_differ(self):
+        a = small_simulator(1).generate(500)
+        b = small_simulator(2).generate(500)
+        assert not np.array_equal(a.series.values, b.series.values)
+
+    def test_community_correlation_structure(self):
+        sim = small_simulator()
+        generated = sim.generate(1500)
+        corr = pearson_matrix(generated.series.values[:, :400])
+        intra, inter = [], []
+        for i in range(12):
+            for j in range(i + 1, 12):
+                same = generated.community_of[i] == generated.community_of[j]
+                (intra if same else inter).append(abs(corr[i, j]))
+        assert np.mean(intra) > 0.7
+        assert np.mean(intra) > np.mean(inter) + 0.3
+
+    def test_labels_match_specs(self):
+        sim = small_simulator()
+        specs = [AnomalySpec(100, 150, (0, 3), "decouple")]
+        generated = sim.generate(400, specs)
+        assert generated.labels[100:150].all()
+        assert generated.labels.sum() == 50
+        assert generated.events[0].sensors == frozenset({0, 3})
+
+    def test_decouple_breaks_correlation(self):
+        sim = small_simulator()
+        specs = [AnomalySpec(600, 900, (0,), "decouple")]
+        generated = sim.generate(1200, specs)
+        values = generated.series.values
+        partner = 3  # same community as sensor 0 (i % 3)
+        normal = abs(pearson_matrix(values[:, 100:400])[0, partner])
+        broken = abs(pearson_matrix(values[:, 600:900])[0, partner])
+        assert broken < normal - 0.3
+
+    def test_stuck_freezes_signal(self):
+        sim = small_simulator()
+        specs = [AnomalySpec(200, 300, (1,), "stuck")]
+        generated = sim.generate(500, specs)
+        assert generated.series.values[1, 200:300].std() < 0.01
+
+    def test_anomaly_validation(self):
+        sim = small_simulator()
+        with pytest.raises(ValueError, match="exceeds"):
+            sim.generate(100, [AnomalySpec(50, 150, (0,), "stuck")])
+        with pytest.raises(ValueError, match="unknown sensor"):
+            sim.generate(200, [AnomalySpec(0, 50, (99,), "stuck")])
+
+    def test_random_anomalies_disjoint(self):
+        sim = small_simulator()
+        specs = sim.random_anomalies(3000, 5, (50, 120), (1, 4))
+        spans = sorted((s.start, s.stop) for s in specs)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+        assert len(specs) == 5
+
+    def test_random_anomalies_community_local(self):
+        sim = small_simulator()
+        specs = sim.random_anomalies(3000, 4, (50, 120), (2, 4))
+        communities = sim.community_of
+        for spec in specs:
+            groups = {communities[s] for s in spec.sensors}
+            assert len(groups) == 1
+
+    def test_random_anomalies_overbooked(self):
+        sim = small_simulator()
+        with pytest.raises(ValueError, match="do not fit"):
+            sim.random_anomalies(300, 10, (50, 100), (1, 2))
+
+    def test_all_kinds_injectable(self):
+        sim = small_simulator()
+        specs = [
+            AnomalySpec(100 + 200 * i, 200 + 200 * i, (i,), kind)
+            for i, kind in enumerate(ANOMALY_TYPES)
+        ]
+        generated = sim.generate(1500, specs)
+        assert np.isfinite(generated.series.values).all()
+
+
+class TestRegistry:
+    def test_names(self):
+        names = dataset_names()
+        assert "psm-sim" in names and "is5-sim" in names
+        assert len(smd_subset_names()) == N_SMD_SUBSETS
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError):
+            get_spec("bogus")
+
+    def test_build_small_dataset(self):
+        dataset = build_dataset(get_spec("psm-sim"))
+        assert isinstance(dataset, Dataset)
+        assert dataset.n_sensors == 26
+        assert dataset.labels.shape == (dataset.test.length,)
+        assert dataset.events
+        assert 0.05 < dataset.labels.mean() < 0.5
+
+    def test_sensor_counts_match_paper(self):
+        expected = {
+            "psm-sim": 26,
+            "swat-sim": 51,
+            "is1-sim": 143,
+            "is2-sim": 264,
+            "is3-sim": 406,
+            "is4-sim": 702,
+            "is5-sim": 1266,
+        }
+        for name, n in expected.items():
+            assert get_spec(name).n_sensors == n
+        assert get_spec("smd-sim-01").n_sensors == 38
+
+    def test_deterministic_build(self):
+        a = build_dataset(get_spec("smd-sim-01"))
+        b = build_dataset(get_spec("smd-sim-01"))
+        np.testing.assert_array_equal(a.test.values, b.test.values)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestIO:
+    def test_npz_round_trip(self, tmp_path):
+        dataset = build_dataset(get_spec("smd-sim-02"))
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset_file(path)
+        np.testing.assert_array_equal(loaded.test.values, dataset.test.values)
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        assert loaded.events == dataset.events
+        assert loaded.spec == dataset.spec
+
+    def test_csv_round_trip(self, tmp_path):
+        dataset = build_dataset(get_spec("smd-sim-03"))
+        path = tmp_path / "series.csv"
+        export_csv(dataset.history, path)
+        loaded = import_csv(path)
+        assert loaded.sensor_names == dataset.history.sensor_names
+        np.testing.assert_allclose(
+            loaded.values, dataset.history.values, rtol=1e-4, atol=1e-4
+        )
+
+    def test_import_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            import_csv(path)
+
+    def test_import_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError):
+            import_csv(path)

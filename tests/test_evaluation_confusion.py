@@ -1,0 +1,58 @@
+"""Tests for confusion counts and F1."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import Confusion, confusion, f1_score, set_confusion
+
+
+class TestConfusion:
+    def test_counts(self):
+        predictions = np.array([1, 1, 0, 0, 1])
+        labels = np.array([1, 0, 1, 0, 1])
+        c = confusion(predictions, labels)
+        assert (c.tp, c.fp, c.fn, c.tn) == (2, 1, 1, 1)
+
+    def test_metrics(self):
+        c = Confusion(tp=2, fp=1, fn=1, tn=1)
+        assert c.precision == pytest.approx(2 / 3)
+        assert c.recall == pytest.approx(2 / 3)
+        assert c.f1 == pytest.approx(2 / 3)
+        assert c.accuracy == pytest.approx(3 / 5)
+
+    def test_degenerate_no_predictions(self):
+        c = Confusion(tp=0, fp=0, fn=3, tn=2)
+        assert c.precision == 0.0
+        assert c.f1 == 0.0
+
+    def test_degenerate_no_positives(self):
+        c = Confusion(tp=0, fp=2, fn=0, tn=3)
+        assert c.recall == 0.0
+        assert c.f1 == 0.0
+
+    def test_perfect(self):
+        predictions = np.array([0, 1, 1, 0])
+        assert f1_score(predictions, predictions) == 1.0
+
+    def test_nonbinary_treated_as_truthy(self):
+        predictions = np.array([0, 2, 5])
+        labels = np.array([0, 1, 1])
+        assert f1_score(predictions, labels) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion(np.zeros(3), np.zeros(4))
+
+
+class TestSetConfusion:
+    def test_counts(self):
+        c = set_confusion({1, 2, 3}, {2, 3, 4}, universe_size=10)
+        assert (c.tp, c.fp, c.fn, c.tn) == (2, 1, 1, 6)
+
+    def test_f1(self):
+        c = set_confusion({1}, {1}, universe_size=5)
+        assert c.f1 == 1.0
+
+    def test_universe_too_small(self):
+        with pytest.raises(ValueError):
+            set_confusion({1, 2}, {3, 4}, universe_size=3)

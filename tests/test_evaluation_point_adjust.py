@@ -1,0 +1,130 @@
+"""Tests for PA and DPA — including the paper's Figure 3 example."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    adjust_predictions,
+    detection_delays,
+    f1_dpa,
+    f1_pa,
+    f1_score,
+    segment_recall,
+)
+
+
+@pytest.fixture
+def figure3():
+    """The paper's Figure 3: ground truth and method M1.
+
+    Ground truth has two anomalies: t3-t5 and t7-t9 (1-indexed); M1
+    predicts t3 and t10.  With 0-indexing over 12 points:
+    gt[2:5] = 1, gt[6:9] = 1; m1 hits points 2 and 9.
+    """
+    gt = np.zeros(12, dtype=int)
+    gt[2:5] = 1
+    gt[6:9] = 1
+    m1 = np.zeros(12, dtype=int)
+    m1[2] = 1
+    m1[9] = 1
+    return gt, m1
+
+
+class TestFigure3Numbers:
+    def test_raw_f1_is_low(self, figure3):
+        gt, m1 = figure3
+        # 1 TP (t3), 1 FP (t10), 5 FN -> F1 = 2/8 = 25%... the paper's M1
+        # also hits inside the second anomaly; emulate its 2 TPs:
+        m1 = m1.copy()
+        m1[9] = 0
+        m1[8] = 1  # last point of anomaly 2
+        assert f1_score(m1, gt) == pytest.approx(2 * 2 / (2 * 2 + 0 + 4))
+
+    def test_pa_adjusts_everything(self, figure3):
+        gt, m1 = figure3
+        m1 = m1.copy()
+        m1[9] = 0
+        m1[8] = 1
+        assert f1_pa(m1, gt) == pytest.approx(1.0)
+
+    def test_dpa_keeps_leading_misses(self, figure3):
+        gt, m1 = figure3
+        m1 = m1.copy()
+        m1[9] = 0
+        m1[8] = 1
+        # Anomaly 1 detected at its first point -> fully adjusted (3 TP).
+        # Anomaly 2 detected at its last point -> only 1 TP, 2 FN remain.
+        # F1 = 2*4 / (2*4 + 0 + 2) = 0.8
+        assert f1_dpa(m1, gt) == pytest.approx(0.8)
+
+    def test_dpa_never_exceeds_pa(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            gt = (rng.random(50) < 0.3).astype(int)
+            predictions = (rng.random(50) < 0.2).astype(int)
+            assert f1_dpa(predictions, gt) <= f1_pa(predictions, gt) + 1e-12
+
+
+class TestAdjustPredictions:
+    def test_none_mode_copies(self):
+        predictions = np.array([1, 0, 1])
+        labels = np.array([1, 1, 1])
+        adjusted = adjust_predictions(predictions, labels, "none")
+        np.testing.assert_array_equal(adjusted, predictions)
+        adjusted[0] = 0
+        assert predictions[0] == 1
+
+    def test_pa_fills_whole_segment(self):
+        labels = np.array([0, 1, 1, 1, 0])
+        predictions = np.array([0, 0, 1, 0, 0])
+        np.testing.assert_array_equal(
+            adjust_predictions(predictions, labels, "pa"), [0, 1, 1, 1, 0]
+        )
+
+    def test_dpa_fills_from_first_hit(self):
+        labels = np.array([0, 1, 1, 1, 0])
+        predictions = np.array([0, 0, 1, 0, 0])
+        np.testing.assert_array_equal(
+            adjust_predictions(predictions, labels, "dpa"), [0, 0, 1, 1, 0]
+        )
+
+    def test_missed_segment_untouched(self):
+        labels = np.array([1, 1, 0])
+        predictions = np.array([0, 0, 1])
+        np.testing.assert_array_equal(
+            adjust_predictions(predictions, labels, "pa"), [0, 0, 1]
+        )
+
+    def test_fp_outside_segments_kept(self):
+        labels = np.array([0, 1, 0])
+        predictions = np.array([1, 1, 1])
+        adjusted = adjust_predictions(predictions, labels, "dpa")
+        np.testing.assert_array_equal(adjusted, [1, 1, 1])
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            adjust_predictions(np.zeros(3), np.zeros(3), "bogus")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            adjust_predictions(np.zeros(3), np.zeros(4))
+
+
+class TestDelays:
+    def test_delays(self):
+        labels = np.array([0, 1, 1, 1, 0, 1, 1, 0])
+        predictions = np.array([0, 0, 1, 0, 0, 0, 0, 0])
+        assert detection_delays(predictions, labels) == [1, None]
+
+    def test_zero_delay(self):
+        labels = np.array([1, 1, 0])
+        predictions = np.array([1, 0, 0])
+        assert detection_delays(predictions, labels) == [0]
+
+    def test_segment_recall(self):
+        labels = np.array([1, 1, 0, 1, 1])
+        predictions = np.array([0, 1, 0, 0, 0])
+        assert segment_recall(predictions, labels) == 0.5
+
+    def test_segment_recall_no_segments(self):
+        assert segment_recall(np.zeros(3), np.zeros(3)) == 0.0

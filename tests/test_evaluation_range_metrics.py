@@ -1,0 +1,97 @@
+"""Tests for range-based precision/recall."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation import range_f1, range_precision_recall
+
+
+class TestBasics:
+    def test_perfect_match(self):
+        labels = np.array([0, 1, 1, 0, 1, 0])
+        score = range_precision_recall(labels, labels)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_no_predictions(self):
+        labels = np.array([0, 1, 1, 0])
+        score = range_precision_recall(np.zeros(4, dtype=int), labels)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_no_anomalies(self):
+        predictions = np.array([1, 0, 0, 1])
+        score = range_precision_recall(predictions, np.zeros(4, dtype=int))
+        assert score.recall == 0.0
+        assert score.precision == 0.0
+
+    def test_partial_overlap(self):
+        labels = np.zeros(10, dtype=int)
+        labels[2:8] = 1  # one range of length 6
+        predictions = np.zeros(10, dtype=int)
+        predictions[5:8] = 1  # covers half
+        score = range_precision_recall(predictions, labels, alpha=0.0)
+        assert score.recall == pytest.approx(0.5)
+        assert score.precision == pytest.approx(1.0)
+
+    def test_alpha_existence_reward(self):
+        labels = np.zeros(10, dtype=int)
+        labels[2:8] = 1
+        predictions = np.zeros(10, dtype=int)
+        predictions[2] = 1  # one touched point
+        pure_overlap = range_precision_recall(predictions, labels, alpha=0.0)
+        pure_existence = range_precision_recall(predictions, labels, alpha=1.0)
+        assert pure_existence.recall == 1.0
+        assert pure_overlap.recall == pytest.approx(1 / 6)
+
+    def test_false_positive_range_hurts_precision(self):
+        labels = np.zeros(10, dtype=int)
+        labels[2:4] = 1
+        predictions = np.zeros(10, dtype=int)
+        predictions[2:4] = 1
+        predictions[7:9] = 1  # spurious range
+        score = range_precision_recall(predictions, labels)
+        assert score.precision == pytest.approx(0.5)
+        assert score.recall == 1.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            range_precision_recall(np.zeros(3), np.zeros(3), alpha=1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            range_precision_recall(np.zeros(3), np.zeros(4))
+
+
+binary_pairs = st.integers(8, 60).flatmap(
+    lambda n: st.tuples(
+        arrays(np.int8, n, elements=st.integers(0, 1)),
+        arrays(np.int8, n, elements=st.integers(0, 1)),
+    )
+)
+
+
+@given(binary_pairs, st.floats(0, 1))
+@settings(max_examples=60, deadline=None)
+def test_range_metrics_bounded(pair, alpha):
+    predictions, labels = pair
+    score = range_precision_recall(predictions, labels, alpha)
+    assert 0.0 <= score.precision <= 1.0
+    assert 0.0 <= score.recall <= 1.0
+    assert 0.0 <= score.f1 <= 1.0
+    assert range_f1(predictions, labels, alpha) == score.f1
+
+
+@given(binary_pairs)
+@settings(max_examples=40, deadline=None)
+def test_perfect_prediction_maximal(pair):
+    _, labels = pair
+    if labels.sum() == 0:
+        return
+    score = range_precision_recall(labels, labels)
+    assert score.f1 == 1.0

@@ -1,0 +1,95 @@
+"""Tests for the Ahead / Miss relative measures (paper Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import ahead_miss, outperform_fractions
+
+
+@pytest.fixture
+def figure3_pair():
+    """Paper Figure 3: M1 detects anomaly 1 first, M2 anomaly 2 first."""
+    gt = np.zeros(12, dtype=int)
+    gt[2:5] = 1
+    gt[6:9] = 1
+    m1 = np.zeros(12, dtype=int)
+    m1[2] = 1  # first point of anomaly 1
+    m1[8] = 1  # last point of anomaly 2
+    m2 = np.zeros(12, dtype=int)
+    m2[4] = 1  # last point of anomaly 1
+    m2[6] = 1  # first point of anomaly 2
+    return gt, m1, m2
+
+
+class TestFigure3:
+    def test_m1_ahead_fifty_percent(self, figure3_pair):
+        gt, m1, m2 = figure3_pair
+        result = ahead_miss(m1, m2, gt)
+        assert result.ahead == pytest.approx(0.5)
+        assert result.miss == 0.0
+        assert result.n_detected == 2
+        assert result.n_anomalies == 2
+
+    def test_symmetry(self, figure3_pair):
+        gt, m1, m2 = figure3_pair
+        forward = ahead_miss(m1, m2, gt)
+        backward = ahead_miss(m2, m1, gt)
+        assert forward.ahead == backward.ahead == pytest.approx(0.5)
+
+
+class TestEdgeCases:
+    def test_m1_detects_all_m2_nothing(self):
+        gt = np.array([0, 1, 1, 0, 1, 0])
+        m1 = np.array([0, 1, 0, 0, 1, 0])
+        m2 = np.zeros(6, dtype=int)
+        result = ahead_miss(m1, m2, gt)
+        assert result.ahead == 1.0  # ahead of a miss counts
+        assert result.miss == 0.0
+
+    def test_m1_detects_nothing(self):
+        gt = np.array([0, 1, 1, 0])
+        m1 = np.zeros(4, dtype=int)
+        m2 = np.array([0, 1, 0, 0])
+        result = ahead_miss(m1, m2, gt)
+        assert result.ahead == 0.0
+        assert result.miss == 1.0
+
+    def test_miss_zero_when_all_detected(self):
+        gt = np.array([1, 1, 0])
+        m1 = np.array([1, 0, 0])
+        m2 = np.array([1, 0, 0])
+        result = ahead_miss(m1, m2, gt)
+        assert result.miss == 0.0
+
+    def test_simultaneous_detection_is_not_ahead(self):
+        gt = np.array([0, 1, 1, 0])
+        m = np.array([0, 1, 0, 0])
+        result = ahead_miss(m, m, gt)
+        assert result.ahead == 0.0
+
+    def test_both_missing_not_counted(self):
+        gt = np.array([1, 1, 0, 1, 1])
+        m1 = np.array([1, 0, 0, 0, 0])
+        m2 = np.array([0, 1, 0, 0, 0])
+        result = ahead_miss(m1, m2, gt)
+        # Anomaly 2 missed by both: no miss charge for M1.
+        assert result.miss == 0.0
+        assert result.ahead == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ahead_miss(np.zeros(3), np.zeros(4), np.zeros(3))
+
+
+class TestOutperformFractions:
+    def test_counts(self):
+        from repro.evaluation import AheadMiss
+
+        pairs = [
+            AheadMiss(0.8, 0.1, 2, 2, 1, 0),
+            AheadMiss(0.3, 0.6, 2, 1, 1, 1),
+        ]
+        ratios = np.array([0.0, 0.5, 1.0])
+        ahead_counts, miss_counts = outperform_fractions(pairs, ratios)
+        np.testing.assert_array_equal(ahead_counts, [2, 1, 0])
+        np.testing.assert_array_equal(miss_counts, [0, 1, 2])

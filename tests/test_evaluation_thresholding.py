@@ -1,0 +1,89 @@
+"""Tests for the vectorised threshold grid search."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    adjust_predictions,
+    best_f1,
+    best_predictions,
+    confusion,
+    threshold_curves,
+)
+
+
+def brute_force_best_f1(scores, labels, mode, step=0.01):
+    best = 0.0
+    for t in np.arange(0.0, 1.0 + step / 2, step):
+        predictions = (scores >= t).astype(int)
+        adjusted = adjust_predictions(predictions, labels, mode)
+        best = max(best, confusion(adjusted, labels).f1)
+    return best
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("mode", ["none", "pa", "dpa"])
+    def test_matches_brute_force(self, mode):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            labels = (rng.random(120) < 0.25).astype(int)
+            scores = np.round(rng.random(120), 2)
+            fast = best_f1(scores, labels, mode=mode, step=0.01)
+            slow = brute_force_best_f1(scores, labels, mode)
+            assert fast == pytest.approx(slow, abs=1e-12), f"trial {trial}"
+
+
+class TestBehaviour:
+    def test_perfect_scores(self):
+        labels = np.array([0, 0, 1, 1, 0])
+        scores = labels.astype(float)
+        assert best_f1(scores, labels, "none") == 1.0
+
+    def test_all_zero_scores(self):
+        labels = np.array([0, 1, 0])
+        scores = np.zeros(3)
+        # Threshold 0 predicts everything; the best F1 is that of the
+        # all-positive prediction.
+        result = threshold_curves(scores, labels, "none")
+        assert result.best_f1 == pytest.approx(0.5)
+
+    def test_curves_shape(self):
+        labels = np.array([0, 1, 1, 0])
+        scores = np.array([0.1, 0.8, 0.6, 0.2])
+        result = threshold_curves(scores, labels, "pa", step=0.1)
+        assert result.thresholds.shape == result.f1.shape
+        assert result.precision.shape == result.recall.shape
+        assert 0 <= result.best_threshold <= 1
+
+    def test_dpa_not_above_pa(self):
+        rng = np.random.default_rng(1)
+        labels = (rng.random(200) < 0.3).astype(int)
+        scores = rng.random(200)
+        assert best_f1(scores, labels, "dpa") <= best_f1(scores, labels, "pa") + 1e-12
+
+    def test_best_predictions_binarise_at_best_threshold(self):
+        rng = np.random.default_rng(2)
+        labels = (rng.random(100) < 0.3).astype(int)
+        scores = rng.random(100)
+        result = threshold_curves(scores, labels, "pa")
+        predictions = best_predictions(scores, labels, "pa")
+        np.testing.assert_array_equal(
+            predictions, (scores >= result.best_threshold).astype(int)
+        )
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            best_f1(np.zeros(3), np.zeros(3), "bogus")
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            threshold_curves(np.zeros(3), np.zeros(3), "pa", step=0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            best_f1(np.zeros(3), np.zeros(4))
+
+    def test_no_anomalies_in_labels(self):
+        scores = np.array([0.2, 0.9, 0.4])
+        labels = np.zeros(3, dtype=int)
+        assert best_f1(scores, labels, "pa") == 0.0

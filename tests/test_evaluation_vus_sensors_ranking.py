@@ -1,0 +1,196 @@
+"""Tests for VUS, sensor-level F1, ranking and segments."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    Segment,
+    SensorEvent,
+    average_rank,
+    f1_sensor,
+    first_detection,
+    label_segments,
+    rank_scores,
+    segments_to_labels,
+    soft_labels,
+    vus,
+)
+
+
+class TestSegments:
+    def test_label_segments(self):
+        labels = np.array([0, 1, 1, 0, 0, 1, 0])
+        segments = label_segments(labels)
+        assert segments == [Segment(1, 3), Segment(5, 6)]
+
+    def test_edges(self):
+        assert label_segments(np.array([1, 1])) == [Segment(0, 2)]
+        assert label_segments(np.zeros(3)) == []
+        assert label_segments(np.array([])) == []
+
+    def test_round_trip(self):
+        labels = np.array([1, 0, 1, 1, 0, 0, 1])
+        segments = label_segments(labels)
+        np.testing.assert_array_equal(segments_to_labels(segments, 7), labels)
+
+    def test_segments_to_labels_overflow(self):
+        with pytest.raises(ValueError):
+            segments_to_labels([Segment(0, 5)], 3)
+
+    def test_first_detection(self):
+        segment = Segment(2, 6)
+        predictions = np.array([1, 0, 0, 0, 1, 1, 0])
+        assert first_detection(segment, predictions) == 4
+
+    def test_first_detection_missed(self):
+        assert first_detection(Segment(0, 2), np.array([0, 0, 1])) is None
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            Segment(3, 3)
+
+    def test_overlaps(self):
+        segment = Segment(2, 6)
+        assert segment.overlaps(5, 8)
+        assert not segment.overlaps(6, 8)
+        assert segment.contains(2) and not segment.contains(6)
+
+
+class TestSoftLabels:
+    def test_zero_buffer_identity(self):
+        labels = np.array([0, 1, 1, 0])
+        np.testing.assert_array_equal(soft_labels(labels, 0), labels.astype(float))
+
+    def test_ramp_shape(self):
+        labels = np.zeros(11, dtype=int)
+        labels[5] = 1
+        soft = soft_labels(labels, 2)
+        assert soft[5] == 1.0
+        assert 0 < soft[4] < 1 and 0 < soft[6] < 1
+        assert soft[4] > soft[3] > 0
+        assert soft[2] == 0.0
+
+    def test_symmetric(self):
+        labels = np.zeros(11, dtype=int)
+        labels[5] = 1
+        soft = soft_labels(labels, 3)
+        np.testing.assert_allclose(soft, soft[::-1])
+
+
+class TestVus:
+    def test_perfect_scores_high_volume(self):
+        labels = np.zeros(200, dtype=int)
+        labels[60:90] = 1
+        scores = labels.astype(float)
+        result = vus(scores, labels, mode="none")
+        # Buffered (soft) labels give partial weight outside the exact
+        # anomaly, so even a perfect binary detector stays below 1.0.
+        assert result.vus_roc > 0.8
+        assert result.vus_pr > 0.7
+        assert result.roc_aucs[0] == pytest.approx(1.0)
+        assert result.pr_aucs[0] == pytest.approx(1.0)
+
+    def test_random_scores_near_half_roc(self):
+        rng = np.random.default_rng(0)
+        labels = np.zeros(400, dtype=int)
+        labels[100:160] = 1
+        scores = rng.random(400)
+        result = vus(scores, labels, mode="none")
+        assert 0.3 < result.vus_roc < 0.7
+
+    def test_pa_at_least_none(self):
+        rng = np.random.default_rng(1)
+        labels = np.zeros(300, dtype=int)
+        labels[50:110] = 1
+        scores = rng.random(300)
+        raw = vus(scores, labels, mode="none")
+        adjusted = vus(scores, labels, mode="pa")
+        assert adjusted.vus_roc >= raw.vus_roc - 1e-9
+
+    def test_dpa_not_above_pa(self):
+        rng = np.random.default_rng(2)
+        labels = np.zeros(300, dtype=int)
+        labels[50:110] = 1
+        labels[200:240] = 1
+        scores = rng.random(300)
+        assert vus(scores, labels, "dpa").vus_roc <= vus(scores, labels, "pa").vus_roc + 1e-9
+
+    def test_buffer_lengths_recorded(self):
+        labels = np.zeros(100, dtype=int)
+        labels[10:30] = 1
+        result = vus(labels.astype(float), labels, n_buffers=4)
+        assert len(result.buffer_lengths) == len(result.roc_aucs)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            vus(np.zeros(3), np.zeros(3), mode="bogus")
+
+
+class TestF1Sensor:
+    def test_exact_match(self):
+        events = [SensorEvent(0, 10, frozenset({1, 2}))]
+        predicted = [(0, 10, frozenset({1, 2}))]
+        assert f1_sensor(predicted, events, 5).f1 == 1.0
+
+    def test_overlapping_predictions_merged(self):
+        events = [SensorEvent(0, 10, frozenset({1, 2}))]
+        predicted = [(0, 4, frozenset({1})), (5, 12, frozenset({2}))]
+        assert f1_sensor(predicted, events, 5).f1 == 1.0
+
+    def test_non_overlapping_ignored(self):
+        events = [SensorEvent(0, 10, frozenset({1}))]
+        predicted = [(20, 30, frozenset({1}))]
+        assert f1_sensor(predicted, events, 5).f1 == 0.0
+
+    def test_macro_average(self):
+        events = [
+            SensorEvent(0, 10, frozenset({1})),
+            SensorEvent(20, 30, frozenset({2})),
+        ]
+        predicted = [(0, 10, frozenset({1}))]
+        score = f1_sensor(predicted, events, 5)
+        assert score.f1 == pytest.approx(0.5)
+        assert score.per_event == (1.0, 0.0)
+
+    def test_empty_ground_truth(self):
+        with pytest.raises(ValueError):
+            f1_sensor([], [], 5)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            SensorEvent(5, 5, frozenset({1}))
+        with pytest.raises(ValueError):
+            SensorEvent(0, 5, frozenset())
+
+
+class TestRanking:
+    def test_rank_scores(self):
+        ranks = rank_scores({"a": 0.9, "b": 0.5, "c": 0.7})
+        assert ranks == {"a": 1.0, "c": 2.0, "b": 3.0}
+
+    def test_ties_average(self):
+        ranks = rank_scores({"a": 0.9, "b": 0.9, "c": 0.1})
+        assert ranks["a"] == ranks["b"] == pytest.approx(1.5)
+        assert ranks["c"] == 3.0
+
+    def test_lower_is_better(self):
+        ranks = rank_scores({"a": 1.0, "b": 5.0}, higher_is_better=False)
+        assert ranks["a"] == 1.0
+
+    def test_average_rank(self):
+        columns = [
+            {"a": 0.9, "b": 0.1},
+            {"a": 0.2, "b": 0.8},
+        ]
+        averaged = average_rank(columns)
+        assert averaged["a"] == averaged["b"] == pytest.approx(1.5)
+
+    def test_average_rank_mismatched_methods(self):
+        with pytest.raises(ValueError):
+            average_rank([{"a": 1.0}, {"b": 1.0}])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            rank_scores({})
+        with pytest.raises(ValueError):
+            average_rank([])

@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the quickstart (the one README leads
+with) is executed end-to-end against its real dataset.
+"""
+
+import importlib.util
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "streaming_detection",
+        "assembly_line_monitoring",
+        "method_comparison",
+        "parameter_tuning",
+    } <= names
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = _load_module(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "detected" in out
+    assert "F1 after Point Adjustment" in out

@@ -1,0 +1,222 @@
+"""Tests for extensions: label propagation, PCA/HBOS, root cause, postprocess."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HBOS, PCADetector, make_detector
+from repro.core import (
+    Anomaly,
+    CAD,
+    CADConfig,
+    consolidate,
+    drop_short,
+    merge_nearby,
+    propagation_order,
+    rank_root_causes,
+)
+from repro.graph import Graph, label_propagation, louvain
+from repro.timeseries import MultivariateTimeSeries, WindowSpec
+
+
+def planted_graph(sizes=(4, 4, 4), bridge=0.05):
+    n = sum(sizes)
+    g = Graph(n)
+    base = 0
+    boundaries = []
+    for size in sizes:
+        for i in range(size):
+            for j in range(i + 1, size):
+                g.add_edge(base + i, base + j, 1.0)
+        boundaries.append(base)
+        base += size
+    for a, b in zip(boundaries, boundaries[1:]):
+        g.add_edge(a, b, bridge)
+    return g
+
+
+class TestLabelPropagation:
+    def test_recovers_planted_communities(self):
+        result = label_propagation(planted_graph())
+        assert result.n_communities == 3
+        labels = result.labels
+        assert len(set(labels[:4])) == 1
+        assert len(set(labels[4:8])) == 1
+
+    def test_agrees_with_louvain_on_clean_structure(self):
+        g = planted_graph()
+        lp = label_propagation(g)
+        lv = louvain(g)
+        assert lp.n_communities == lv.n_communities
+
+    def test_deterministic(self):
+        g = planted_graph((5, 5))
+        assert label_propagation(g).labels == label_propagation(g).labels
+
+    def test_rejects_negative_weights(self):
+        g = Graph(2)
+        g.add_edge(0, 1, -1.0)
+        with pytest.raises(ValueError):
+            label_propagation(g)
+
+    def test_isolated_vertices_stay_singleton(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        result = label_propagation(g)
+        assert result.labels[2] not in (result.labels[0], result.labels[1])
+
+    def test_cad_runs_with_label_propagation(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        from dataclasses import replace
+
+        config = replace(toy_config, community_method="label_propagation")
+        detector = CAD(config, 12)
+        detector.warm_up(history)
+        result = detector.detect(test)
+        assert len(result.rounds) > 0
+
+
+class TestPCA:
+    def correlated(self, seed=0, n=6, length=500):
+        rng = np.random.default_rng(seed)
+        latent = rng.standard_normal((2, length))
+        mix = rng.standard_normal((n, 2))
+        return MultivariateTimeSeries(mix @ latent + 0.05 * rng.standard_normal((n, length)))
+
+    def test_keeps_few_components_on_low_rank_data(self):
+        detector = PCADetector(variance_fraction=0.9)
+        detector.fit(self.correlated())
+        assert detector.n_components <= 3
+
+    def test_scores_off_subspace_points(self):
+        train = self.correlated()
+        test_values = self.correlated(seed=1, length=300).values.copy()
+        test_values[:, 100:120] += np.random.default_rng(2).standard_normal(
+            (6, 20)
+        ) * 3.0  # structure-breaking noise
+        scores = PCADetector().fit(train).score(MultivariateTimeSeries(test_values))
+        assert scores[100:120].mean() > scores[:100].mean()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            PCADetector(variance_fraction=0.0)
+
+    def test_registry(self):
+        assert make_detector("PCA").deterministic
+
+
+class TestHBOS:
+    def test_tail_values_score_high(self):
+        rng = np.random.default_rng(0)
+        train = MultivariateTimeSeries(rng.normal(0, 1, (3, 800)))
+        test_values = rng.normal(0, 1, (3, 200))
+        test_values[1, 50:60] = 9.0
+        scores = HBOS().fit(train).score(MultivariateTimeSeries(test_values))
+        assert scores[50:60].mean() > scores[:50].mean() * 1.5
+
+    def test_constant_sensor_handled(self):
+        train = MultivariateTimeSeries(np.vstack([np.ones(100), np.arange(100.0)]))
+        scores = HBOS().fit(train).score(train)
+        assert np.isfinite(scores).all()
+
+    def test_sensor_mismatch(self):
+        train = MultivariateTimeSeries(np.random.default_rng(0).random((2, 50)))
+        detector = HBOS().fit(train)
+        with pytest.raises(ValueError):
+            detector.score(MultivariateTimeSeries(np.zeros((3, 10))))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HBOS(n_bins=1)
+        with pytest.raises(ValueError):
+            HBOS(smoothing=0.0)
+
+
+class TestRootCause:
+    def detection(self, toy_config, broken_series):
+        history, test, _, _ = broken_series
+        detector = CAD(toy_config, 12)
+        detector.warm_up(history)
+        return detector.detect(test)
+
+    def test_ranking_sorted_by_evidence(self, toy_config, broken_series):
+        result = self.detection(toy_config, broken_series)
+        assert result.anomalies
+        causes = rank_root_causes(result, result.anomalies[0])
+        evidences = [c.evidence for c in causes]
+        assert evidences == sorted(evidences, reverse=True)
+
+    def test_ranking_covers_anomaly_sensors(self, toy_config, broken_series):
+        result = self.detection(toy_config, broken_series)
+        anomaly = result.anomalies[0]
+        ranked = {c.sensor for c in rank_root_causes(result, anomaly)}
+        assert anomaly.sensors <= ranked
+
+    def test_propagation_order_sorted_by_onset(self, toy_config, broken_series):
+        result = self.detection(toy_config, broken_series)
+        anomaly = result.anomalies[0]
+        order = propagation_order(result, anomaly)
+        causes = {c.sensor: c for c in rank_root_causes(result, anomaly)}
+        onsets = [causes[s].onset_round for s in order]
+        assert onsets == sorted(onsets)
+
+    def test_unknown_round_rejected(self, toy_config, broken_series):
+        result = self.detection(toy_config, broken_series)
+        bogus = Anomaly(
+            sensors=frozenset({1}), rounds=(9999,), start=0, stop=10
+        )
+        with pytest.raises(ValueError):
+            rank_root_causes(result, bogus)
+
+
+class TestPostprocess:
+    def anomaly(self, first_round, last_round, sensors, spec):
+        return Anomaly(
+            sensors=frozenset(sensors),
+            rounds=tuple(range(first_round, last_round + 1)),
+            start=spec.fresh_span(first_round)[0],
+            stop=spec.round_span(last_round)[1],
+        )
+
+    def test_merge_nearby(self):
+        spec = WindowSpec(10, 2)
+        a = self.anomaly(2, 3, {1}, spec)
+        b = self.anomaly(5, 6, {2}, spec)
+        merged = merge_nearby([a, b], spec, max_gap=1)
+        assert len(merged) == 1
+        assert merged[0].sensors == frozenset({1, 2})
+        assert merged[0].rounds == (2, 3, 4, 5, 6)
+
+    def test_merge_respects_gap(self):
+        spec = WindowSpec(10, 2)
+        a = self.anomaly(2, 3, {1}, spec)
+        b = self.anomaly(8, 9, {2}, spec)
+        assert len(merge_nearby([a, b], spec, max_gap=1)) == 2
+
+    def test_merge_unordered_input(self):
+        spec = WindowSpec(10, 2)
+        a = self.anomaly(2, 3, {1}, spec)
+        b = self.anomaly(4, 5, {2}, spec)
+        merged = merge_nearby([b, a], spec, max_gap=0)
+        assert len(merged) == 1
+
+    def test_drop_short(self):
+        spec = WindowSpec(10, 2)
+        short = self.anomaly(2, 2, {1}, spec)
+        long = self.anomaly(5, 7, {2}, spec)
+        assert drop_short([short, long], min_rounds=2) == [long]
+
+    def test_consolidate(self):
+        spec = WindowSpec(10, 2)
+        a = self.anomaly(2, 2, {1}, spec)
+        b = self.anomaly(4, 4, {2}, spec)
+        c = self.anomaly(20, 20, {3}, spec)
+        result = consolidate([a, b, c], spec, max_gap=1, min_rounds=2)
+        assert len(result) == 1
+        assert result[0].sensors == frozenset({1, 2})
+
+    def test_invalid_params(self):
+        spec = WindowSpec(10, 2)
+        with pytest.raises(ValueError):
+            merge_nearby([], spec, max_gap=-1)
+        with pytest.raises(ValueError):
+            drop_short([], min_rounds=0)

@@ -1,0 +1,105 @@
+"""Tests for connected components and k-NN graph / TSG construction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    absolute_weight_graph,
+    component_labels,
+    connected_components,
+    knn_graph,
+    prune_weak_edges,
+)
+
+
+class TestComponents:
+    def test_isolated_vertices(self):
+        assert connected_components(Graph(3)) == [[0], [1], [2]]
+
+    def test_one_component(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert connected_components(g) == [[0, 1, 2, 3]]
+
+    def test_two_components(self):
+        g = Graph(5)
+        g.add_edge(0, 4)
+        g.add_edge(1, 2)
+        assert connected_components(g) == [[0, 4], [1, 2], [3]]
+
+    def test_labels(self):
+        g = Graph(4)
+        g.add_edge(0, 2)
+        assert component_labels(g) == [0, 1, 0, 2]
+
+
+class TestKnnGraph:
+    def corr(self):
+        # 0-1 strongly positive, 2-3 strongly negative, cross terms weak.
+        return np.array(
+            [
+                [1.0, 0.9, 0.1, 0.2],
+                [0.9, 1.0, 0.15, 0.1],
+                [0.1, 0.15, 1.0, -0.85],
+                [0.2, 0.1, -0.85, 1.0],
+            ]
+        )
+
+    def test_strong_edges_present(self):
+        g = knn_graph(self.corr(), 1)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 3)
+
+    def test_signed_weights_kept(self):
+        g = knn_graph(self.corr(), 1)
+        assert g.weight(2, 3) == pytest.approx(-0.85)
+
+    def test_union_semantics(self):
+        # Asymmetric top-k membership still yields the edge.
+        corr = np.array(
+            [
+                [1.0, 0.9, 0.8],
+                [0.9, 1.0, 0.85],
+                [0.8, 0.85, 1.0],
+            ]
+        )
+        g = knn_graph(corr, 1)
+        # 0's top-1 is 1; 2's top-1 is 1; so edges (0,1) and (1,2) exist.
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+    def test_degree_at_least_k(self):
+        rng = np.random.default_rng(0)
+        raw = rng.uniform(-1, 1, (10, 10))
+        corr = (raw + raw.T) / 2
+        np.fill_diagonal(corr, 1.0)
+        g = knn_graph(corr, 3)
+        for v in range(10):
+            assert g.degree(v) >= 3
+
+
+class TestPruning:
+    def test_prune_removes_weak(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 0.9)
+        g.add_edge(1, 2, 0.2)
+        pruned = prune_weak_edges(g, 0.5)
+        assert pruned.has_edge(0, 1)
+        assert not pruned.has_edge(1, 2)
+
+    def test_prune_keeps_strong_negative(self):
+        g = Graph(2)
+        g.add_edge(0, 1, -0.8)
+        assert prune_weak_edges(g, 0.5).has_edge(0, 1)
+
+    def test_prune_invalid_tau(self):
+        with pytest.raises(ValueError):
+            prune_weak_edges(Graph(2), 1.5)
+
+    def test_absolute_weight_graph(self):
+        g = Graph(2)
+        g.add_edge(0, 1, -0.7)
+        assert absolute_weight_graph(g).weight(0, 1) == pytest.approx(0.7)

@@ -1,0 +1,105 @@
+"""Tests for the weighted graph structure."""
+
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(4)
+        assert g.n_vertices == 4
+        assert g.n_edges == 0
+
+    def test_rejects_zero_vertices(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+
+
+class TestEdges:
+    def test_add_and_query(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 0.5)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.weight(0, 1) == 0.5
+        assert g.n_edges == 1
+
+    def test_overwrite_weight(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 0.5)
+        g.add_edge(1, 0, 0.9)
+        assert g.weight(0, 1) == 0.9
+        assert g.n_edges == 1
+
+    def test_no_self_loops(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(3).add_edge(1, 1)
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(3).add_edge(0, 3)
+
+    def test_remove_edge(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.n_edges == 0
+
+    def test_remove_missing_edge(self):
+        with pytest.raises(KeyError):
+            Graph(3).remove_edge(0, 1)
+
+    def test_weight_missing_edge(self):
+        with pytest.raises(KeyError):
+            Graph(3).weight(0, 2)
+
+    def test_edges_iterated_once(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 2.0)
+        g.add_edge(0, 3, 3.0)
+        edges = sorted(g.edges())
+        assert edges == [(0, 1, 1.0), (0, 3, 3.0), (2, 3, 2.0)]
+
+    def test_edge_set(self):
+        g = Graph(3)
+        g.add_edge(2, 0)
+        assert g.edge_set() == {(0, 2)}
+
+
+class TestDegrees:
+    def test_degree_and_weighted_degree(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 0.5)
+        g.add_edge(0, 2, 0.25)
+        assert g.degree(0) == 2
+        assert g.degree(1) == 1
+        assert g.weighted_degree(0) == 0.75
+
+    def test_total_weight(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        assert g.total_weight() == 3.0
+
+    def test_neighbors_copy(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 0.5)
+        neighbors = g.neighbors(0)
+        neighbors[2] = 99.0
+        assert not g.has_edge(0, 2)
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 0.5)
+        clone = g.copy()
+        clone.add_edge(1, 2, 1.0)
+        assert not g.has_edge(1, 2)
+        assert clone.weight(0, 1) == 0.5
+
+    def test_repr(self):
+        assert "n_vertices=3" in repr(Graph(3))

@@ -1,0 +1,135 @@
+"""Tests for Louvain community detection and modularity."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, louvain, modularity
+
+
+def two_cliques(size=4, bridge_weight=0.1):
+    """Two dense cliques joined by one weak bridge edge."""
+    g = Graph(2 * size)
+    for base in (0, size):
+        for i in range(size):
+            for j in range(i + 1, size):
+                g.add_edge(base + i, base + j, 1.0)
+    g.add_edge(size - 1, size, bridge_weight)
+    return g
+
+
+class TestModularity:
+    def test_empty_graph(self):
+        assert modularity(Graph(3), [0, 1, 2]) == 0.0
+
+    def test_single_community_zero(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(0, 2)
+        assert modularity(g, [0, 0, 0]) == pytest.approx(0.0)
+
+    def test_good_partition_beats_bad(self):
+        g = two_cliques()
+        good = [0] * 4 + [1] * 4
+        bad = [0, 1, 0, 1, 0, 1, 0, 1]
+        assert modularity(g, good) > modularity(g, bad)
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            modularity(Graph(3), [0, 0])
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(0)
+        g = Graph(10)
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(range(10))
+        for _ in range(20):
+            u, v = rng.integers(0, 10, 2)
+            if u == v:
+                continue
+            w = float(rng.uniform(0.1, 1.0))
+            g.add_edge(int(u), int(v), w)
+            nx_graph.add_edge(int(u), int(v), weight=w)
+        labels = [i % 3 for i in range(10)]
+        groups = [{i for i in range(10) if labels[i] == c} for c in range(3)]
+        expected = networkx.algorithms.community.modularity(nx_graph, groups)
+        assert modularity(g, labels) == pytest.approx(expected)
+
+
+class TestLouvain:
+    def test_two_cliques_split(self):
+        result = louvain(two_cliques())
+        assert result.n_communities == 2
+        labels = result.labels
+        assert len(set(labels[:4])) == 1
+        assert len(set(labels[4:])) == 1
+        assert labels[0] != labels[4]
+
+    def test_labels_compact(self):
+        result = louvain(two_cliques())
+        assert set(result.labels) == set(range(result.n_communities))
+
+    def test_deterministic(self):
+        g = two_cliques(5)
+        first = louvain(g)
+        second = louvain(g)
+        assert first.labels == second.labels
+
+    def test_singletons_without_edges(self):
+        result = louvain(Graph(5))
+        assert result.n_communities == 5
+
+    def test_modularity_reported_matches(self):
+        g = two_cliques()
+        result = louvain(g)
+        assert result.modularity == pytest.approx(modularity(g, list(result.labels)))
+
+    def test_rejects_negative_weights(self):
+        g = Graph(2)
+        g.add_edge(0, 1, -0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            louvain(g)
+
+    def test_members(self):
+        result = louvain(two_cliques())
+        members = result.members()
+        assert sorted(sum(members, [])) == list(range(8))
+
+    def test_three_cliques(self):
+        g = Graph(12)
+        for base in (0, 4, 8):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    g.add_edge(base + i, base + j, 1.0)
+        g.add_edge(3, 4, 0.05)
+        g.add_edge(7, 8, 0.05)
+        result = louvain(g)
+        assert result.n_communities == 3
+
+    def test_matches_networkx_quality(self):
+        """Louvain should find partitions as good as networkx's (both greedy)."""
+        networkx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(1)
+        n = 24
+        g = Graph(n)
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(range(n))
+        # Planted 3-community structure.
+        for u in range(n):
+            for v in range(u + 1, n):
+                same = (u % 3) == (v % 3)
+                p = 0.6 if same else 0.05
+                if rng.random() < p:
+                    g.add_edge(u, v, 1.0)
+                    nx_graph.add_edge(u, v, weight=1.0)
+        ours = louvain(g)
+        theirs = networkx.algorithms.community.louvain_communities(nx_graph, seed=0)
+        theirs_quality = networkx.algorithms.community.modularity(nx_graph, theirs)
+        assert ours.modularity >= theirs_quality - 0.05
+
+    def test_resolution_changes_granularity(self):
+        g = two_cliques(4, bridge_weight=2.0)
+        coarse = louvain(g, resolution=0.2)
+        fine = louvain(g, resolution=2.0)
+        assert coarse.n_communities <= fine.n_communities

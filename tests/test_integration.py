@@ -1,0 +1,94 @@
+"""End-to-end integration tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro import detect_anomalies
+from repro.baselines import CADDetector, make_detector
+from repro.bench import probe_rc_level, tuned_cad_config
+from repro.core import CADConfig
+from repro.datasets import build_dataset, get_spec, load_dataset
+from repro.evaluation import (
+    ahead_miss,
+    best_f1,
+    best_predictions,
+    f1_sensor,
+    vus,
+)
+
+
+@pytest.fixture(scope="module")
+def smd():
+    return load_dataset("smd-sim-05")
+
+
+class TestDetectAnomaliesConvenience:
+    def test_end_to_end_with_suggestion(self, smd):
+        result = detect_anomalies(smd.test, history=smd.history)
+        assert result.length == smd.test.length
+        scores = result.point_scores()
+        assert scores.shape == (smd.test.length,)
+
+    def test_explicit_config(self, smd):
+        config = CADConfig.suggest(
+            smd.test.length, smd.n_sensors, theta=0.7 * probe_rc_level(smd)
+        )
+        result = detect_anomalies(smd.test, history=smd.history, config=config)
+        assert best_f1(result.point_scores(), smd.labels, "pa") > 0.5
+
+
+class TestFullPipeline:
+    def test_cad_beats_chance_on_simulated_data(self, smd):
+        detector = CADDetector(tuned_cad_config(smd))
+        detector.fit(smd.history)
+        scores = detector.score(smd.test)
+        pa = best_f1(scores, smd.labels, "pa")
+        assert pa > 0.6, f"CAD F1_PA {pa:.3f} too low on {smd.name}"
+
+    def test_sensor_localisation_pipeline(self, smd):
+        detector = CADDetector(tuned_cad_config(smd))
+        detector.fit(smd.history)
+        detector.score(smd.test)
+        score = f1_sensor(detector.predicted_events(), smd.events, smd.n_sensors)
+        assert score.n_events == len(smd.events)
+        # Absolute localisation quality varies per subset (the paper's
+        # Table IV claim is relative: CAD beats ECOD/RCoders); here we only
+        # require the pipeline to produce a usable, non-degenerate score.
+        assert 0.0 <= score.f1 <= 1.0
+        assert len(score.per_event) == len(smd.events)
+
+    def test_relative_evaluation_pipeline(self, smd):
+        cad = CADDetector(tuned_cad_config(smd))
+        cad.fit(smd.history)
+        cad_pred = best_predictions(cad.score(smd.test), smd.labels, "dpa")
+        ecod = make_detector("ECOD")
+        ecod.fit(smd.history)
+        ecod_pred = best_predictions(ecod.score(smd.test), smd.labels, "dpa")
+        relative = ahead_miss(cad_pred, ecod_pred, smd.labels)
+        assert relative.n_anomalies == len(smd.events)
+
+    def test_vus_pipeline(self, smd):
+        detector = make_detector("ECOD")
+        detector.fit(smd.history)
+        scores = detector.score(smd.test)
+        result = vus(scores, smd.labels, mode="dpa")
+        assert 0.0 <= result.vus_pr <= 1.0
+        assert 0.0 <= result.vus_roc <= 1.0
+
+
+class TestDeterminismAcrossRuns:
+    def test_cad_bit_identical(self, smd):
+        runs = []
+        for _ in range(2):
+            detector = CADDetector(
+                CADConfig.suggest(smd.test.length, smd.n_sensors, theta=0.15)
+            )
+            detector.fit(smd.history)
+            runs.append(detector.score(smd.test))
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_dataset_rebuild_identical(self):
+        a = build_dataset(get_spec("smd-sim-04"))
+        b = build_dataset(get_spec("smd-sim-04"))
+        np.testing.assert_array_equal(a.test.values, b.test.values)
+        assert a.events == b.events

@@ -1,0 +1,220 @@
+"""Tests for the numpy neural substrate: layers, optimisers, training."""
+
+import numpy as np
+import pytest
+
+from repro.neural import (
+    MLP,
+    Adam,
+    Dense,
+    ReLU,
+    SGD,
+    Sigmoid,
+    Tanh,
+    iterate_minibatches,
+    make_activation,
+    mse,
+    per_row_squared_error,
+    train_reconstruction,
+)
+
+
+def numeric_gradient(func, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = func()
+        flat[i] = original - eps
+        lower = func()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(3, 5, np.random.default_rng(0))
+        assert layer.forward(np.zeros((7, 3))).shape == (7, 5)
+
+    def test_backward_before_forward(self):
+        layer = Dense(3, 5, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((2, 5)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+
+        def loss():
+            return mse(layer.forward(x), target)[0]
+
+        numeric_w = numeric_gradient(loss, layer.weight)
+        numeric_b = numeric_gradient(loss, layer.bias)
+        _, grad = mse(layer.forward(x), target)
+        layer.grad_weight[...] = 0
+        layer.grad_bias[...] = 0
+        layer.backward(grad)
+        np.testing.assert_allclose(layer.grad_weight, numeric_w, atol=1e-6)
+        np.testing.assert_allclose(layer.grad_bias, numeric_b, atol=1e-6)
+
+    def test_input_gradient_check(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((2, 4))
+        target = rng.standard_normal((2, 3))
+
+        def loss():
+            return mse(layer.forward(x), target)[0]
+
+        numeric_x = numeric_gradient(loss, x)
+        _, grad = mse(layer.forward(x), target)
+        layer.grad_weight[...] = 0
+        layer.grad_bias[...] = 0
+        analytic = layer.backward(grad)
+        np.testing.assert_allclose(analytic, numeric_x, atol=1e-6)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid])
+    def test_gradient_check(self, cls):
+        rng = np.random.default_rng(3)
+        layer = cls()
+        x = rng.standard_normal((4, 6)) + 0.1  # avoid ReLU kink at 0
+        target = rng.standard_normal((4, 6))
+
+        def loss():
+            return mse(layer.forward(x), target)[0]
+
+        numeric_x = numeric_gradient(loss, x)
+        _, grad = mse(layer.forward(x), target)
+        analytic = layer.backward(grad)
+        np.testing.assert_allclose(analytic, numeric_x, atol=1e-5)
+
+    def test_relu_clips(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid().forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_make_activation_unknown(self):
+        with pytest.raises(ValueError):
+            make_activation("swish")
+
+
+class TestMLP:
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4], np.random.default_rng(0))
+
+    def test_full_gradient_check(self):
+        rng = np.random.default_rng(4)
+        model = MLP([3, 5, 2], rng, activation="tanh")
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss():
+            return mse(model.forward(x), target)[0]
+
+        for param, grads in zip(model.parameters(), model.gradients()):
+            grads[...] = 0.0
+        _, grad = mse(model.forward(x), target)
+        model.backward(grad)
+        for param, analytic in zip(model.parameters(), model.gradients()):
+            numeric = numeric_gradient(loss, param)
+            np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_output_activation(self):
+        rng = np.random.default_rng(5)
+        model = MLP([3, 4, 3], rng, output_activation="sigmoid")
+        out = model.forward(rng.standard_normal((10, 3)) * 10)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestOptimizers:
+    def quadratic_setup(self, optimizer_cls, **kwargs):
+        param = np.array([5.0, -3.0])
+        grad = np.zeros(2)
+        optimizer = optimizer_cls([param], [grad], **kwargs)
+        for _ in range(500):
+            optimizer.zero_grad()
+            grad += 2 * param  # d/dp ||p||^2
+            optimizer.step()
+        return param
+
+    def test_sgd_converges(self):
+        param = self.quadratic_setup(SGD, lr=0.05)
+        np.testing.assert_allclose(param, 0.0, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        param = self.quadratic_setup(SGD, lr=0.02, momentum=0.9)
+        np.testing.assert_allclose(param, 0.0, atol=1e-3)
+
+    def test_adam_converges(self):
+        param = self.quadratic_setup(Adam, lr=0.05)
+        np.testing.assert_allclose(param, 0.0, atol=1e-3)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(2)], [np.zeros(3)])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(2)], [np.zeros(2)], lr=-1.0)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss, grad = mse(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert loss == pytest.approx(2.5)
+        np.testing.assert_allclose(grad, [[1.0, 2.0]])
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_per_row_squared_error(self):
+        errors = per_row_squared_error(
+            np.array([[1.0, 1.0], [0.0, 0.0]]), np.zeros((2, 2))
+        )
+        np.testing.assert_allclose(errors, [1.0, 0.0])
+
+
+class TestTraining:
+    def test_minibatches_cover_everything(self):
+        data = np.arange(10).reshape(10, 1).astype(float)
+        batches = list(iterate_minibatches(data, 3, np.random.default_rng(0)))
+        seen = np.sort(np.concatenate(batches).ravel())
+        np.testing.assert_array_equal(seen, np.arange(10))
+
+    def test_minibatch_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((4, 1)), 0, np.random.default_rng(0)))
+
+    def test_autoencoder_loss_decreases(self):
+        rng = np.random.default_rng(6)
+        latent = rng.standard_normal((100, 2))
+        data = latent @ rng.standard_normal((2, 8))
+        model = MLP([8, 4, 2, 4, 8], rng, activation="tanh")
+        history = train_reconstruction(model, data, rng, epochs=80, lr=1e-2)
+        assert history[-1] < history[0] * 0.5
+
+    def test_callback_early_stop(self):
+        rng = np.random.default_rng(7)
+        model = MLP([4, 2, 4], rng)
+        data = rng.standard_normal((20, 4))
+        calls = []
+
+        def callback(epoch, loss):
+            calls.append(epoch)
+            if epoch >= 2:
+                raise StopIteration
+
+        history = train_reconstruction(model, data, rng, epochs=50, callback=callback)
+        assert len(history) == 3

@@ -1,0 +1,85 @@
+"""Property-based tests for the clustering substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.clustering import kmeans, sbd, shift_series
+from repro.clustering.sbd import sbd_to_reference
+
+series_pair = st.integers(4, 32).flatmap(
+    lambda m: st.tuples(
+        arrays(np.float64, m, elements=st.floats(-10, 10, allow_nan=False)),
+        arrays(np.float64, m, elements=st.floats(-10, 10, allow_nan=False)),
+    )
+)
+
+
+@given(series_pair)
+@settings(max_examples=80, deadline=None)
+def test_sbd_bounds_and_symmetry_of_value(pair):
+    x, y = pair
+    d_xy, _ = sbd(x, y)
+    d_yx, _ = sbd(y, x)
+    assert -1e-9 <= d_xy <= 2 + 1e-9
+    # SBD's value is symmetric (the maximising shift flips sign).
+    assert abs(d_xy - d_yx) < 1e-9
+
+
+@given(arrays(np.float64, st.integers(4, 32), elements=st.floats(-10, 10, allow_nan=False)))
+@settings(max_examples=60, deadline=None)
+def test_sbd_self_distance_zero(x):
+    if np.linalg.norm(x) <= 1e-9:
+        return
+    d, shift = sbd(x, x)
+    assert d < 1e-9
+    assert shift == 0
+
+
+@given(
+    arrays(np.float64, st.integers(6, 24), elements=st.floats(-5, 5, allow_nan=False)),
+    st.integers(-5, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_shift_series_preserves_length(x, shift):
+    shifted = shift_series(x, shift)
+    assert shifted.shape == x.shape
+    # The retained mass is a contiguous slice of the original.
+    if shift > 0:
+        np.testing.assert_array_equal(shifted[shift:], x[: x.size - shift])
+    elif shift < 0:
+        np.testing.assert_array_equal(shifted[:shift], x[-shift:])
+
+
+@given(
+    st.integers(5, 25),
+    st.integers(2, 4),
+    st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_kmeans_partitions_all_points(n, k, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, 3))
+    result = kmeans(data, min(k, n), rng)
+    assert result.labels.shape == (n,)
+    assert result.labels.min() >= 0
+    assert result.labels.max() < min(k, n)
+    assert result.inertia >= 0
+
+
+@given(
+    st.integers(3, 12),
+    st.integers(6, 20),
+    st.integers(0, 500),
+)
+@settings(max_examples=40, deadline=None)
+def test_batched_sbd_matches_pairwise(n_rows, m, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.standard_normal((n_rows, m))
+    reference = rng.standard_normal(m)
+    distances, shifts = sbd_to_reference(rows, reference)
+    for i in range(n_rows):
+        d, s = sbd(reference, rows[i])
+        assert abs(distances[i] - d) < 1e-9
+        assert shifts[i] == s

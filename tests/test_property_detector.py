@@ -1,0 +1,91 @@
+"""Property-based tests for CAD's end-to-end invariants on random data."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CAD, CADConfig
+from repro.timeseries import MultivariateTimeSeries, WindowSpec
+
+
+def random_mts(seed: int, n_sensors: int, length: int) -> MultivariateTimeSeries:
+    """Correlated-ish random MTS (drivers + noise), deterministic in seed."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    drivers = np.vstack(
+        [np.sin(2 * np.pi * t / p) for p in rng.uniform(8, 30, size=3)]
+    )
+    mix = rng.standard_normal((n_sensors, 3))
+    return MultivariateTimeSeries(mix @ drivers + 0.2 * rng.standard_normal((n_sensors, length)))
+
+
+@st.composite
+def cad_cases(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_sensors = draw(st.integers(3, 10))
+    window = draw(st.integers(16, 40))
+    step = draw(st.integers(2, 8))
+    length = draw(st.integers(window * 4, window * 8))
+    theta = draw(st.floats(0.05, 0.6))
+    config = CADConfig(
+        window=window,
+        step=min(step, window - 1),
+        k=min(3, n_sensors - 1),
+        tau=draw(st.floats(0.1, 0.7)),
+        theta=theta,
+        rc_mode="window",
+        rc_window=4,
+    )
+    return seed, n_sensors, length, config
+
+
+@given(cad_cases())
+@settings(max_examples=20, deadline=None)
+def test_detection_result_invariants(case):
+    seed, n_sensors, length, config = case
+    series = random_mts(seed, n_sensors, length)
+    detector = CAD(config, n_sensors)
+    result = detector.detect(series)
+
+    spec = WindowSpec(config.window, config.step)
+    assert len(result.rounds) == spec.n_rounds(length)
+
+    # Round records are contiguous and inside the series.
+    for i, record in enumerate(result.rounds):
+        assert record.index == i
+        assert 0 <= record.start < record.stop <= length + config.window
+        assert 0 <= record.n_variations <= n_sensors
+        assert record.outliers <= set(range(n_sensors))
+        assert record.variations <= set(range(n_sensors))
+
+    # Anomalies cover exactly the abnormal rounds.
+    abnormal_rounds = {r.index for r in result.rounds if r.abnormal}
+    anomaly_rounds = {i for a in result.anomalies for i in a.rounds}
+    assert anomaly_rounds == abnormal_rounds
+
+    # Sensor unions agree.
+    union = frozenset().union(*(a.sensors for a in result.anomalies)) if result.anomalies else frozenset()
+    assert union == result.abnormal_sensors()
+
+    # Scores bounded, labels binary, labels only where scores are >= 0.5.
+    scores = result.point_scores()
+    labels = result.point_labels()
+    assert scores.shape == labels.shape == (length,)
+    assert (scores >= 0).all() and (scores < 1).all()
+    assert set(np.unique(labels)) <= {0, 1}
+
+
+@given(cad_cases())
+@settings(max_examples=10, deadline=None)
+def test_streaming_equals_batch(case):
+    seed, n_sensors, length, config = case
+    from repro.core import StreamingCAD
+
+    series = random_mts(seed, n_sensors, length)
+    batch = CAD(config, n_sensors).detect(series)
+    stream = StreamingCAD(config, n_sensors)
+    records = stream.push_many(series.values)
+    assert [r.n_variations for r in records] == [
+        r.n_variations for r in batch.rounds
+    ]
+    assert [r.abnormal for r in records] == [r.abnormal for r in batch.rounds]

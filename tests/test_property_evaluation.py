@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the evaluation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation import (
+    adjust_predictions,
+    ahead_miss,
+    best_f1,
+    confusion,
+    f1_dpa,
+    f1_pa,
+    f1_score,
+    label_segments,
+    rank_scores,
+    segments_to_labels,
+    soft_labels,
+)
+
+binary = st.integers(min_value=10, max_value=80).flatmap(
+    lambda n: st.tuples(
+        arrays(np.int8, n, elements=st.integers(0, 1)),
+        arrays(np.int8, n, elements=st.integers(0, 1)),
+    )
+)
+
+
+@given(binary)
+@settings(max_examples=60, deadline=None)
+def test_pa_dominates_dpa_dominates_raw(pair):
+    predictions, labels = pair
+    raw = f1_score(predictions, labels)
+    dpa = f1_dpa(predictions, labels)
+    pa = f1_pa(predictions, labels)
+    assert raw <= dpa + 1e-12
+    assert dpa <= pa + 1e-12
+
+
+@given(binary)
+@settings(max_examples=60, deadline=None)
+def test_adjustment_is_idempotent(pair):
+    predictions, labels = pair
+    for mode in ("pa", "dpa"):
+        once = adjust_predictions(predictions, labels, mode)
+        twice = adjust_predictions(once, labels, mode)
+        np.testing.assert_array_equal(once, twice)
+
+
+@given(binary)
+@settings(max_examples=60, deadline=None)
+def test_adjustment_only_adds_inside_segments(pair):
+    predictions, labels = pair
+    for mode in ("pa", "dpa"):
+        adjusted = adjust_predictions(predictions, labels, mode)
+        added = (adjusted == 1) & (predictions == 0)
+        assert not (added & (labels == 0)).any()
+        # Adjustment never removes predictions.
+        assert not ((adjusted == 0) & (predictions == 1)).any()
+
+
+@given(binary)
+@settings(max_examples=40, deadline=None)
+def test_confusion_counts_partition(pair):
+    predictions, labels = pair
+    c = confusion(predictions, labels)
+    assert c.tp + c.fp + c.fn + c.tn == len(labels)
+    assert 0.0 <= c.f1 <= 1.0
+
+
+@given(arrays(np.int8, st.integers(5, 60), elements=st.integers(0, 1)))
+@settings(max_examples=60, deadline=None)
+def test_segments_round_trip(labels):
+    segments = label_segments(labels)
+    np.testing.assert_array_equal(
+        segments_to_labels(segments, labels.size), labels
+    )
+    # Segments are disjoint and ordered.
+    for a, b in zip(segments, segments[1:]):
+        assert a.stop < b.start + 1
+
+
+@given(
+    st.integers(20, 60).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, n, elements=st.floats(0, 1)),
+            arrays(np.int8, n, elements=st.integers(0, 1)),
+        )
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_best_f1_bounded_and_ordered(pair):
+    scores, labels = pair
+    pa = best_f1(scores, labels, "pa", step=0.05)
+    dpa = best_f1(scores, labels, "dpa", step=0.05)
+    assert 0.0 <= dpa <= pa <= 1.0
+
+
+@given(
+    st.integers(15, 60).flatmap(
+        lambda n: st.tuples(
+            arrays(np.int8, n, elements=st.integers(0, 1)),
+            arrays(np.int8, n, elements=st.integers(0, 1)),
+            arrays(np.int8, n, elements=st.integers(0, 1)),
+        )
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_ahead_miss_bounds(triple):
+    m1, m2, labels = triple
+    result = ahead_miss(m1, m2, labels)
+    assert 0.0 <= result.ahead <= 1.0
+    assert 0.0 <= result.miss <= 1.0
+    assert result.n_detected <= result.n_anomalies
+    assert result.n_ahead <= max(result.n_detected, 1)
+
+
+@given(
+    arrays(np.int8, st.integers(10, 50), elements=st.integers(0, 1)),
+    st.integers(0, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_soft_labels_bounds(labels, buffer_length):
+    soft = soft_labels(labels, buffer_length)
+    assert (soft >= 0).all() and (soft <= 1).all()
+    # Soft weights dominate the hard labels.
+    assert (soft >= labels.astype(float) - 1e-12).all()
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=5),
+        st.floats(0, 1, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_rank_scores_is_permutation_of_valid_ranks(scores):
+    ranks = rank_scores(scores)
+    values = sorted(ranks.values())
+    n = len(scores)
+    assert values[0] >= 1.0
+    assert values[-1] <= n
+    assert sum(values) == n * (n + 1) / 2

@@ -1,0 +1,50 @@
+"""Public-API contract tests: exports resolve, docstrings exist."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.graph",
+    "repro.timeseries",
+    "repro.neural",
+    "repro.clustering",
+    "repro.baselines",
+    "repro.evaluation",
+    "repro.datasets",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} must define __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_items_documented(package_name):
+    package = importlib.import_module(package_name)
+    for name in package.__all__:
+        item = getattr(package, name)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            assert inspect.getdoc(item), f"{package_name}.{name} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    for name in ("CAD", "CADConfig", "StreamingCAD", "detect_anomalies",
+                 "MultivariateTimeSeries", "WindowSpec"):
+        assert name in repro.__all__

@@ -1,0 +1,73 @@
+"""Extra edge-case tests: reporting emit, dataset IO failure modes, t0 continuity."""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import emit, format_table
+from repro.datasets import (
+    NetworkConfig,
+    SensorNetworkSimulator,
+    load_dataset,
+    save_dataset,
+)
+from repro.datasets.io import load_dataset_file
+
+
+class TestEmit:
+    def test_emit_writes_and_prints(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        emit("demo", format_table(["a"], [["1"]], title="T"))
+        out = capsys.readouterr().out
+        assert "T" in out
+        assert (tmp_path / "results" / "demo.txt").read_text().startswith("T")
+
+
+class TestDatasetIOFailures:
+    def test_unknown_name_rejected_on_load(self, tmp_path):
+        dataset = load_dataset("smd-sim-02")
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        # Corrupt the stored name: the loader must refuse mystery data.
+        import json
+
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["name"] = np.array("not-a-dataset")
+        np.savez_compressed(path, **payload)
+        with pytest.raises(KeyError):
+            load_dataset_file(path)
+
+    def test_load_dataset_caches(self):
+        a = load_dataset("smd-sim-02")
+        b = load_dataset("smd-sim-02")
+        assert a is b
+
+
+class TestGeneratorContinuity:
+    def test_t0_keeps_seasonal_phase(self):
+        """History and test generated back-to-back align at the seam.
+
+        The deterministic seasonal component must continue through t0; only
+        the random parts (AR noise) differ, so correlation across the seam
+        between a sensor and itself shifted by one full period stays high.
+        """
+        simulator = SensorNetworkSimulator(
+            NetworkConfig(n_sensors=6, n_communities=2, noise_scale=0.01, seed=3)
+        )
+        history = simulator.generate(600)
+        test = simulator.generate(600, t0=600)
+        # Compare the deterministic expectation: regenerate the full series
+        # from an identical simulator and check the seasonal phase matches
+        # the two-segment version closely at the seam.
+        reference = SensorNetworkSimulator(
+            NetworkConfig(n_sensors=6, n_communities=2, noise_scale=0.01, seed=3)
+        ).generate(1200)
+        seam_two_part = np.hstack(
+            [history.series.values[:, -50:], test.series.values[:, :50]]
+        )
+        seam_reference = reference.series.values[:, 550:650]
+        # AR noise streams diverge, but the shared sinusoidal drivers keep
+        # the two versions strongly correlated around the seam.
+        for row_a, row_b in zip(seam_two_part, seam_reference):
+            corr = np.corrcoef(row_a, row_b)[0, 1]
+            assert corr > 0.2, f"seam correlation too low: {corr:.2f}"

@@ -1,0 +1,137 @@
+"""Tests for Pearson correlation, top-k neighbours and autocorrelation."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import autocorrelation, pearson, pearson_matrix, top_k_neighbors
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.standard_normal(50), rng.standard_normal(50)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros(3), np.zeros(4))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros(1), np.zeros(1))
+
+
+class TestPearsonMatrix:
+    def test_matches_corrcoef(self):
+        rng = np.random.default_rng(1)
+        window = rng.standard_normal((5, 40))
+        ours = pearson_matrix(window)
+        numpy_result = np.corrcoef(window)
+        np.testing.assert_allclose(ours, numpy_result, atol=1e-12)
+
+    def test_symmetric_unit_diagonal(self):
+        rng = np.random.default_rng(2)
+        matrix = pearson_matrix(rng.standard_normal((6, 30)))
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_constant_row_zeroed(self):
+        window = np.vstack([np.ones(20), np.arange(20.0), np.sin(np.arange(20.0))])
+        matrix = pearson_matrix(window)
+        assert (matrix[0] == 0).all()
+        assert (matrix[:, 0] == 0).all()
+        assert matrix[1, 2] != 0
+
+    def test_values_clamped(self):
+        rng = np.random.default_rng(3)
+        matrix = pearson_matrix(rng.standard_normal((4, 10)))
+        assert matrix.max() <= 1.0
+        assert matrix.min() >= -1.0
+
+    def test_rejects_short_window(self):
+        with pytest.raises(ValueError):
+            pearson_matrix(np.zeros((3, 1)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pearson_matrix(np.zeros(10))
+
+
+class TestTopK:
+    def test_picks_strongest_absolute(self):
+        corr = np.array(
+            [
+                [1.0, 0.9, -0.95, 0.1],
+                [0.9, 1.0, 0.2, 0.3],
+                [-0.95, 0.2, 1.0, 0.4],
+                [0.1, 0.3, 0.4, 1.0],
+            ]
+        )
+        neighbors = top_k_neighbors(corr, 2)
+        # Vertex 0: strongest |corr| are 2 (-0.95) then 1 (0.9).
+        assert list(neighbors[0]) == [2, 1]
+
+    def test_excludes_self(self):
+        rng = np.random.default_rng(4)
+        raw = rng.uniform(-1, 1, (8, 8))
+        corr = (raw + raw.T) / 2
+        np.fill_diagonal(corr, 1.0)
+        neighbors = top_k_neighbors(corr, 3)
+        for v in range(8):
+            assert v not in neighbors[v]
+
+    def test_shape(self):
+        corr = np.eye(5)
+        assert top_k_neighbors(corr, 2).shape == (5, 2)
+
+    @pytest.mark.parametrize("k", [0, 5, 9])
+    def test_invalid_k(self, k):
+        with pytest.raises(ValueError):
+            top_k_neighbors(np.eye(5), k)
+
+    def test_deterministic_order(self):
+        corr = np.eye(4)
+        a = top_k_neighbors(corr, 2)
+        b = top_k_neighbors(corr, 2)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(5)
+        acf = autocorrelation(rng.standard_normal(100))
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_signal_peaks_at_period(self):
+        t = np.arange(400)
+        acf = autocorrelation(np.sin(2 * np.pi * t / 20), max_lag=50)
+        # The biased estimator scales lag l by (T - l) / T, so ~0.95 here.
+        assert abs(acf[20] - 1.0) < 0.08
+
+    def test_constant_series(self):
+        acf = autocorrelation(np.ones(50), max_lag=10)
+        assert (acf == 0).all()
+
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(64)
+        acf = autocorrelation(x, max_lag=5)
+        centered = x - x.mean()
+        for lag in range(6):
+            direct = np.dot(centered[: 64 - lag], centered[lag:]) / np.dot(centered, centered)
+            assert acf[lag] == pytest.approx(direct, abs=1e-10)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros((2, 3)))

@@ -1,0 +1,136 @@
+"""Tests for the MultivariateTimeSeries container."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import MultivariateTimeSeries
+
+
+def make_series(n=3, length=10):
+    values = np.arange(n * length, dtype=float).reshape(n, length)
+    return MultivariateTimeSeries(values)
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        series = make_series(3, 10)
+        assert series.n_sensors == 3
+        assert series.length == 10
+        assert len(series) == 10
+
+    def test_default_sensor_names(self):
+        series = make_series(2, 5)
+        assert series.sensor_names == ("sensor_0", "sensor_1")
+
+    def test_custom_sensor_names(self):
+        series = MultivariateTimeSeries(np.zeros((2, 4)), ("a", "b"))
+        assert series.sensor_names == ("a", "b")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            MultivariateTimeSeries(np.zeros(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MultivariateTimeSeries(np.zeros((0, 5)))
+
+    def test_rejects_nan(self):
+        values = np.zeros((2, 3))
+        values[1, 2] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            MultivariateTimeSeries(values)
+
+    def test_rejects_inf(self):
+        values = np.zeros((2, 3))
+        values[0, 0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            MultivariateTimeSeries(values)
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ValueError, match="names"):
+            MultivariateTimeSeries(np.zeros((2, 3)), ("only-one",))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            MultivariateTimeSeries(np.zeros((2, 3)), ("x", "x"))
+
+    def test_values_are_immutable(self):
+        series = make_series()
+        with pytest.raises(ValueError):
+            series.values[0, 0] = 99.0
+
+    def test_copies_input(self):
+        values = np.zeros((2, 3))
+        series = MultivariateTimeSeries(values)
+        values[0, 0] = 42.0
+        assert series.values[0, 0] == 0.0
+
+
+class TestAccess:
+    def test_sensor_row(self):
+        series = make_series(2, 4)
+        np.testing.assert_array_equal(series.sensor(1), [4, 5, 6, 7])
+
+    def test_sensor_index_by_name(self):
+        series = MultivariateTimeSeries(np.zeros((2, 3)), ("temp", "vib"))
+        assert series.sensor_index("vib") == 1
+
+    def test_sensor_index_unknown(self):
+        with pytest.raises(KeyError, match="unknown sensor"):
+            make_series().sensor_index("nope")
+
+    def test_iter_sensors(self):
+        series = make_series(2, 3)
+        pairs = list(series.iter_sensors())
+        assert [name for name, _ in pairs] == ["sensor_0", "sensor_1"]
+        np.testing.assert_array_equal(pairs[1][1], [3, 4, 5])
+
+
+class TestSlicing:
+    def test_slice_time(self):
+        series = make_series(2, 10)
+        part = series.slice_time(2, 5)
+        assert part.length == 3
+        np.testing.assert_array_equal(part.values, series.values[:, 2:5])
+
+    def test_slice_time_keeps_names(self):
+        series = MultivariateTimeSeries(np.zeros((2, 6)), ("a", "b"))
+        assert series.slice_time(0, 3).sensor_names == ("a", "b")
+
+    @pytest.mark.parametrize("start,stop", [(-1, 3), (3, 3), (5, 2), (0, 99)])
+    def test_slice_time_invalid(self, start, stop):
+        with pytest.raises(ValueError):
+            make_series(2, 10).slice_time(start, stop)
+
+    def test_select_sensors(self):
+        series = make_series(4, 5)
+        subset = series.select_sensors([3, 1])
+        assert subset.n_sensors == 2
+        np.testing.assert_array_equal(subset.values[0], series.values[3])
+        assert subset.sensor_names == ("sensor_3", "sensor_1")
+
+    def test_select_sensors_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            make_series().select_sensors([])
+
+
+class TestConcat:
+    def test_concat_lengths(self):
+        a = make_series(2, 4)
+        b = make_series(2, 6)
+        combined = a.concat(b)
+        assert combined.length == 10
+        np.testing.assert_array_equal(combined.values[:, :4], a.values)
+
+    def test_concat_mismatched_sensors(self):
+        a = MultivariateTimeSeries(np.zeros((2, 3)), ("a", "b"))
+        b = MultivariateTimeSeries(np.zeros((2, 3)), ("a", "c"))
+        with pytest.raises(ValueError, match="different sensors"):
+            a.concat(b)
+
+
+class TestFromRows:
+    def test_from_rows(self):
+        series = MultivariateTimeSeries.from_rows([[1, 2], [3, 4]], ["x", "y"])
+        assert series.n_sensors == 2
+        assert series.sensor_names == ("x", "y")

@@ -1,0 +1,82 @@
+"""Tests for scalers and score normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import MinMaxScaler, StandardScaler, minmax_unit, zscore
+
+
+class TestStandardScaler:
+    def test_fit_transform_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 3.0, (4, 200))
+        scaled = StandardScaler.fit_transform(values)
+        np.testing.assert_allclose(scaled.mean(axis=1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=1), 1.0, atol=1e-10)
+
+    def test_constant_row_safe(self):
+        values = np.vstack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler.fit_transform(values)
+        assert np.isfinite(scaled).all()
+        np.testing.assert_allclose(scaled[0], 0.0)
+
+    def test_transform_uses_fitted_stats(self):
+        train = np.array([[0.0, 2.0]])
+        scaler = StandardScaler.fit(train)
+        np.testing.assert_allclose(scaler.transform(np.array([[4.0]])), [[3.0]])
+
+    def test_sensor_count_mismatch(self):
+        scaler = StandardScaler.fit(np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((3, 5)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler.fit(np.zeros(5))
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-7, 3, (3, 50))
+        scaled = MinMaxScaler.fit_transform(values)
+        np.testing.assert_allclose(scaled.min(axis=1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.max(axis=1), 1.0, atol=1e-12)
+
+    def test_constant_row_safe(self):
+        scaled = MinMaxScaler.fit_transform(np.ones((1, 5)))
+        assert np.isfinite(scaled).all()
+
+    def test_out_of_range_test_data(self):
+        scaler = MinMaxScaler.fit(np.array([[0.0, 10.0]]))
+        result = scaler.transform(np.array([[20.0]]))
+        assert result[0, 0] == pytest.approx(2.0)
+
+
+class TestZscore:
+    def test_basic(self):
+        z = zscore(np.array([1.0, 2.0, 3.0]))
+        assert z.mean() == pytest.approx(0.0)
+        assert z.std() == pytest.approx(1.0)
+
+    def test_constant(self):
+        np.testing.assert_array_equal(zscore(np.full(4, 7.0)), np.zeros(4))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            zscore(np.zeros((2, 2)))
+
+
+class TestMinMaxUnit:
+    def test_maps_to_unit_interval(self):
+        scores = minmax_unit(np.array([-5.0, 0.0, 5.0]))
+        np.testing.assert_allclose(scores, [0.0, 0.5, 1.0])
+
+    def test_constant_maps_to_zero(self):
+        np.testing.assert_array_equal(minmax_unit(np.full(3, 9.0)), np.zeros(3))
+
+    def test_preserves_order(self):
+        rng = np.random.default_rng(2)
+        raw = rng.standard_normal(30)
+        scaled = minmax_unit(raw)
+        np.testing.assert_array_equal(np.argsort(raw), np.argsort(scaled))

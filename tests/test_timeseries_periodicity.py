@@ -1,0 +1,58 @@
+"""Tests for dominant-period estimation."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import estimate_mts_period, estimate_period
+
+
+class TestEstimatePeriod:
+    def test_clean_sinusoid(self):
+        t = np.arange(600)
+        series = np.sin(2 * np.pi * t / 25)
+        assert estimate_period(series) == 25
+
+    def test_noisy_sinusoid(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(800)
+        series = np.sin(2 * np.pi * t / 40) + 0.2 * rng.standard_normal(800)
+        assert abs(estimate_period(series) - 40) <= 2
+
+    def test_white_noise_falls_back_to_default(self):
+        rng = np.random.default_rng(1)
+        period = estimate_period(rng.standard_normal(300), default=17)
+        # Noise can occasionally produce a weak peak; the default must be
+        # returned when nothing peaks.
+        assert 4 <= period <= 300 // 4 or period == 17
+
+    def test_constant_series_default(self):
+        assert estimate_period(np.ones(100), default=21) == 21
+
+    def test_short_series_default(self):
+        assert estimate_period(np.array([1.0, 2.0]), default=13) == 13
+
+    def test_respects_min_period(self):
+        t = np.arange(600)
+        series = np.sin(2 * np.pi * t / 6)
+        assert estimate_period(series, min_period=10, default=33) in (12, 18, 24, 30, 33, 36)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            estimate_period(np.zeros((2, 10)))
+
+
+class TestEstimateMtsPeriod:
+    def test_median_across_sensors(self):
+        t = np.arange(600)
+        values = np.vstack(
+            [
+                np.sin(2 * np.pi * t / 20),
+                np.sin(2 * np.pi * t / 24),
+                np.sin(2 * np.pi * t / 28),
+            ]
+        )
+        assert estimate_mts_period(values) == 24
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            estimate_mts_period(np.zeros(10))

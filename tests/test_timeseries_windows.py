@@ -1,0 +1,109 @@
+"""Tests for WindowSpec and MTS partitioning (paper Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import MultivariateTimeSeries, WindowSpec, iter_windows, window_matrix
+
+
+class TestWindowSpec:
+    def test_valid(self):
+        spec = WindowSpec(window=10, step=2)
+        assert spec.window == 10
+        assert spec.step == 2
+
+    @pytest.mark.parametrize("w,s", [(1, 1), (10, 0), (10, 10), (10, 12)])
+    def test_invalid(self, w, s):
+        with pytest.raises(ValueError):
+            WindowSpec(window=w, step=s)
+
+    def test_n_rounds_exact(self):
+        # |T| = 20, w = 10, s = 5 -> R = (20 - 10) / 5 + 1 = 3
+        assert WindowSpec(10, 5).n_rounds(20) == 3
+
+    def test_n_rounds_trims_remainder(self):
+        # (23 - 10) = 13, 13 // 5 = 2 -> R = 3, last 3 points dropped.
+        assert WindowSpec(10, 5).n_rounds(23) == 3
+
+    def test_n_rounds_too_short(self):
+        with pytest.raises(ValueError, match="shorter than window"):
+            WindowSpec(10, 5).n_rounds(9)
+
+    def test_round_span(self):
+        spec = WindowSpec(10, 5)
+        assert spec.round_span(0) == (0, 10)
+        assert spec.round_span(2) == (10, 20)
+
+    def test_round_start_negative(self):
+        with pytest.raises(ValueError):
+            WindowSpec(10, 5).round_start(-1)
+
+    def test_fresh_span_round_zero_is_whole_window(self):
+        assert WindowSpec(10, 5).fresh_span(0) == (0, 10)
+
+    def test_fresh_span_later_rounds_are_step(self):
+        spec = WindowSpec(10, 5)
+        assert spec.fresh_span(1) == (10, 15)
+        assert spec.fresh_span(2) == (15, 20)
+
+    def test_fresh_spans_tile_the_series(self):
+        spec = WindowSpec(8, 3)
+        length = 8 + 3 * 6
+        covered = np.zeros(length, dtype=int)
+        for r in range(spec.n_rounds(length)):
+            a, b = spec.fresh_span(r)
+            covered[a:b] += 1
+        assert (covered == 1).all()
+
+    def test_covering_rounds(self):
+        spec = WindowSpec(10, 5)
+        # Point 12 lies in rounds starting at 5 and 10 -> rounds 1 and 2.
+        assert list(spec.covering_rounds(12, 20)) == [1, 2]
+
+    def test_covering_rounds_first_point(self):
+        assert list(WindowSpec(10, 5).covering_rounds(0, 20)) == [0]
+
+    def test_covering_rounds_out_of_range(self):
+        with pytest.raises(ValueError):
+            WindowSpec(10, 5).covering_rounds(20, 20)
+
+    def test_covering_rounds_consistent_with_spans(self):
+        spec = WindowSpec(12, 5)
+        length = 60
+        total = spec.n_rounds(length)
+        for t in range(length):
+            rounds = list(spec.covering_rounds(t, length))
+            expected = [
+                r for r in range(total) if spec.round_span(r)[0] <= t < spec.round_span(r)[1]
+            ]
+            assert rounds == expected
+
+
+class TestIteration:
+    def make(self, n=2, length=20):
+        return MultivariateTimeSeries(
+            np.arange(n * length, dtype=float).reshape(n, length)
+        )
+
+    def test_iter_windows_count_and_content(self):
+        series = self.make()
+        spec = WindowSpec(10, 5)
+        windows = list(iter_windows(series, spec))
+        assert len(windows) == 3
+        np.testing.assert_array_equal(windows[1], series.values[:, 5:15])
+
+    def test_window_matrix(self):
+        series = self.make()
+        spec = WindowSpec(10, 5)
+        np.testing.assert_array_equal(
+            window_matrix(series, spec, 2), series.values[:, 10:20]
+        )
+
+    def test_window_matrix_out_of_range(self):
+        with pytest.raises(ValueError):
+            window_matrix(self.make(), WindowSpec(10, 5), 3)
+
+    def test_windows_are_views(self):
+        series = self.make()
+        windows = list(iter_windows(series, WindowSpec(10, 5)))
+        assert all(w.base is not None for w in windows)
