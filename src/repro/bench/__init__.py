@@ -1,6 +1,6 @@
 """Benchmark harness: cached experiment runner and table/series reporting."""
 
-from .reporting import emit, format_series, format_table
+from .reporting import emit, format_quality_report, format_series, format_table
 from .runner import (
     TABLE3_DATASETS,
     MethodRun,
@@ -22,4 +22,5 @@ __all__ = [
     "emit",
     "format_table",
     "format_series",
+    "format_quality_report",
 ]

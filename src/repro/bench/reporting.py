@@ -8,7 +8,10 @@ the pytest run.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from ..core.result import RoundRecord
 
 RESULTS_DIR = Path("results")
 
@@ -38,6 +41,40 @@ def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
     lines = [name]
     for x, y in zip(xs, ys):
         lines.append(f"  {_cell(x):>10}  {_cell(y)}")
+    return "\n".join(lines)
+
+
+def format_quality_report(records: Iterable["RoundRecord"]) -> str:
+    """Aggregate the rounds' data-quality reports into a short health text.
+
+    Summarises how much of the stream was degraded (missing readings,
+    masked sensors) and which sensors were masked most often — the
+    operational "is my feed healthy" view of a degraded-mode run.  Rounds
+    without a quality report (clean-feed mode) count as fully healthy.
+    """
+    records = list(records)
+    total = len(records)
+    reports = [r.quality for r in records if r.quality is not None]
+    degraded = [q for q in reports if q.degraded]
+    lines = [
+        "data quality:",
+        f"  rounds             {total}",
+        f"  degraded rounds    {len(degraded)}"
+        + (f" ({100.0 * len(degraded) / total:.1f}%)" if total else ""),
+    ]
+    if degraded:
+        mean_missing = sum(q.missing_fraction for q in degraded) / len(degraded)
+        lines.append(f"  mean missing frac  {mean_missing:.3f} (over degraded rounds)")
+        masked_rounds: dict[int, int] = {}
+        for q in degraded:
+            for sensor in q.masked_sensors:
+                masked_rounds[sensor] = masked_rounds.get(sensor, 0) + 1
+        if masked_rounds:
+            worst = sorted(masked_rounds.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+            listed = ", ".join(f"{s} ({c} rounds)" for s, c in worst)
+            lines.append(f"  most masked        {listed}")
+        else:
+            lines.append("  most masked        none (no sensor fell below the mask threshold)")
     return "\n".join(lines)
 
 

@@ -9,7 +9,10 @@ Commands
 ``detect --dataset NAME [--theta T] [--csv FILE]``
     Run CAD on a registered dataset (or a CSV exported with
     ``repro.datasets.export_csv``) and print the anomalies with root-cause
-    rankings and DaE scores.
+    rankings and DaE scores.  ``--allow-missing`` switches the detector into
+    degraded-data mode (NaN readings tolerated, per-round data-quality
+    report); ``--fault-rate R`` additionally corrupts the test feed with
+    missing-at-random gaps to demo fault tolerance.
 ``compare --dataset NAME [--methods A,B,...]``
     Run several methods and print F1_PA / F1_DPA plus Ahead/Miss vs CAD.
 """
@@ -51,6 +54,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument(
         "--top-causes", type=int, default=5, help="root-cause sensors to print per anomaly"
+    )
+    detect.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="degraded-data mode: tolerate NaN readings and report data quality",
+    )
+    detect.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="corrupt the test feed with this missing-at-random rate (implies --allow-missing)",
+    )
+    detect.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the injected faults"
     )
 
     compare = commands.add_parser("compare", help="compare methods on a dataset")
@@ -95,12 +112,30 @@ def cmd_detect(args: argparse.Namespace) -> int:
     if theta is None:
         theta = 0.85 * probe_rc_level(data)
         print(f"probed RC level -> theta = {theta:.3f}")
+    if not 0.0 <= args.fault_rate < 1.0:
+        raise SystemExit(f"--fault-rate must be in [0, 1), got {args.fault_rate}")
+    allow_missing = args.allow_missing or args.fault_rate > 0.0
     config = CADConfig.suggest(
-        data.test.length, data.n_sensors, k=data.recommended_k, theta=theta
+        data.test.length,
+        data.n_sensors,
+        k=data.recommended_k,
+        theta=theta,
+        allow_missing=allow_missing,
     )
+    test = data.test
+    if args.fault_rate > 0.0:
+        from .datasets import FaultModel
+        from .timeseries import MultivariateTimeSeries
+
+        faults = FaultModel(missing_rate=args.fault_rate, seed=args.fault_seed)
+        test = MultivariateTimeSeries(faults.apply(test.values), allow_missing=True)
+        print(
+            f"injected missing-at-random faults at rate {args.fault_rate:.3f} "
+            f"(seed {args.fault_seed})"
+        )
     detector = CADDetector(config)
     detector.fit(data.history)
-    scores = detector.score(data.test)
+    scores = detector.score(test)
     result = detector.last_result
 
     print(f"\n{result.n_anomalies} anomalies on {args.dataset}:")
@@ -108,6 +143,12 @@ def cmd_detect(args: argparse.Namespace) -> int:
         causes = rank_root_causes(result, anomaly)[: args.top_causes]
         ranked = ", ".join(f"{c.sensor}({c.evidence:.1f})" for c in causes)
         print(f"  [{anomaly.start:6d}, {anomaly.stop:6d})  top causes: {ranked}")
+
+    if allow_missing:
+        from .bench import format_quality_report
+
+        print()
+        print(format_quality_report(result.rounds))
 
     print(f"\nF1_PA  = {best_f1(scores, data.labels, 'pa'):.3f}")
     print(f"F1_DPA = {best_f1(scores, data.labels, 'dpa'):.3f}")

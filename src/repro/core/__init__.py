@@ -1,10 +1,11 @@
 """CAD core: TSGs, co-appearance mining, variation analysis, the detector."""
 
+from .checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
 from .config import CADConfig
 from .coappearance import CoAppearanceTracker, coappearance_counts
 from .detector import CAD, assemble_anomalies, detect_anomalies
 from .postprocess import consolidate, drop_short, merge_nearby
-from .result import Anomaly, DetectionResult, RoundRecord
+from .result import Anomaly, DataQuality, DetectionResult, RoundRecord
 from .rootcause import SensorCause, propagation_order, rank_root_causes
 from .streaming import StreamingCAD
 from .tsg import build_tsg, tsg_sequence
@@ -17,8 +18,12 @@ __all__ = [
     "detect_anomalies",
     "assemble_anomalies",
     "Anomaly",
+    "DataQuality",
     "DetectionResult",
     "RoundRecord",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CHECKPOINT_VERSION",
     "build_tsg",
     "tsg_sequence",
     "coappearance_counts",

@@ -79,6 +79,11 @@ class CoAppearanceTracker:
         self._last_rc: np.ndarray | None = None
 
     @property
+    def n_sensors(self) -> int:
+        """Number of vertices the tracker was built for."""
+        return self._n
+
+    @property
     def rounds_seen(self) -> int:
         """Number of rounds for which ``S_r`` was computable (>= 1 prior)."""
         return self._rounds
@@ -92,22 +97,63 @@ class CoAppearanceTracker:
         """
         return None if self._last_rc is None else self._last_rc.copy()
 
-    def update(self, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+    def update(
+        self, labels: np.ndarray, valid: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
         """Feed one round's community labels.
 
         Returns ``(S_r, RC_r)`` for this round, or ``None`` for the very
         first round (no previous communities to compare against).
+
+        ``valid`` (optional boolean mask over sensors) marks sensors whose
+        community assignment is trustworthy this round.  An invalid sensor —
+        masked out for missing data — is treated as having moved *with* its
+        previous community: its label is rewritten to the current label most
+        of its valid previous-round community mates adopted (Louvain label
+        ids are round-local, so holding the raw old id would silently stop
+        it co-appearing with anyone).  Its own ``S_r`` is imputed at its
+        current history mean, leaving its RC unchanged: a data gap must not
+        fake an outlier transition — neither for the gapped sensor nor for
+        its community mates.
         """
         labels = np.asarray(labels)
         if labels.shape != (self._n,):
             raise ValueError(
                 f"expected {self._n} community labels, got shape {labels.shape}"
             )
+        if valid is not None:
+            valid = np.asarray(valid, dtype=bool)
+            if valid.shape != (self._n,):
+                raise ValueError(
+                    f"expected {self._n} validity flags, got shape {valid.shape}"
+                )
+            if valid.all():
+                valid = None
         if self._previous_labels is None:
             self._previous_labels = labels.copy()
             return None
 
+        if valid is not None:
+            invalid = ~valid
+            # Ghost each invalid sensor along with its previous community:
+            # give it the current label the majority of its valid previous
+            # community mates ended up with.  A masked sensor is an isolated
+            # TSG vertex, so its own Louvain label is a fresh singleton that
+            # would never match its mates'.
+            labels = labels.copy()
+            for vertex in np.flatnonzero(invalid):
+                mates = valid & (self._previous_labels == self._previous_labels[vertex])
+                if mates.any():
+                    mate_labels, counts = np.unique(labels[mates], return_counts=True)
+                    labels[vertex] = mate_labels[np.argmax(counts)]
         s_r = coappearance_counts(self._previous_labels, labels).astype(np.float64)
+        if valid is not None:
+            # RC = history-mean(S) / (n - 1) in every mode, so imputing S_r
+            # at the current mean pins the invalid sensors' RC in place.
+            if self._last_rc is not None:
+                s_r[invalid] = self._last_rc[invalid] * (self._n - 1)
+            else:
+                s_r[invalid] = 0.0
         self._previous_labels = labels.copy()
         self._rounds += 1
 
@@ -132,3 +178,42 @@ class CoAppearanceTracker:
         self._decay_weight = 0.0
         self._history.clear()
         self._last_rc = None
+
+    def to_state(self) -> dict:
+        """Exact internal state, for checkpointing."""
+        return {
+            "n_sensors": self._n,
+            "mode": self._mode,
+            "decay": self._decay,
+            "window": self._window,
+            "previous_labels": (
+                None if self._previous_labels is None else self._previous_labels.copy()
+            ),
+            "rounds": self._rounds,
+            "sum": self._sum.copy(),
+            "decay_weight": self._decay_weight,
+            "history": [s.copy() for s in self._history],
+            "last_rc": None if self._last_rc is None else self._last_rc.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CoAppearanceTracker":
+        """Rebuild from :meth:`to_state` output, bit-identically."""
+        tracker = cls(
+            int(state["n_sensors"]),
+            mode=str(state["mode"]),
+            decay=float(state["decay"]),
+            window=int(state["window"]),
+        )
+        if state["previous_labels"] is not None:
+            tracker._previous_labels = np.asarray(state["previous_labels"]).copy()
+        tracker._rounds = int(state["rounds"])
+        tracker._sum = np.asarray(state["sum"], dtype=np.float64).copy()
+        if tracker._sum.shape != (tracker._n,):
+            raise ValueError("invalid CoAppearanceTracker state: bad sum shape")
+        tracker._decay_weight = float(state["decay_weight"])
+        for s_r in state["history"]:
+            tracker._history.append(np.asarray(s_r, dtype=np.float64).copy())
+        if state["last_rc"] is not None:
+            tracker._last_rc = np.asarray(state["last_rc"], dtype=np.float64).copy()
+        return tracker

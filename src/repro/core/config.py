@@ -30,6 +30,16 @@ Collects every knob from the paper in one validated place:
 * ``community_method`` — Phase-1 community detector: ``"louvain"`` (paper,
   reference [11]) or ``"label_propagation"`` (ablation: how sensitive is
   CAD to the community detector?).
+* ``allow_missing`` — degraded-data mode: accept NaN readings, correlate
+  over pairwise-complete observations and mask sensors whose window is too
+  incomplete instead of crashing (the paper assumes a clean feed).
+* ``max_missing_fraction`` — a sensor whose window is missing more than
+  this fraction of its readings is masked out of the round: it gains no TSG
+  edges and its RC is carried forward unchanged, so data gaps do not fake
+  outlier variations.
+* ``min_overlap_fraction`` — floor on the pairwise-complete overlap (as a
+  fraction of ``window``) below which a sensor pair's correlation is
+  treated as unknown (edge weight 0).
 """
 
 from __future__ import annotations
@@ -56,6 +66,9 @@ class CADConfig:
     sensor_attribution: str = "transitions"
     variation_sides: str = "both"
     community_method: str = "louvain"
+    allow_missing: bool = False
+    max_missing_fraction: float = 0.5
+    min_overlap_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.window < 2:
@@ -94,6 +107,18 @@ class CADConfig:
                 "community_method must be 'louvain' or 'label_propagation', "
                 f"got {self.community_method!r}"
             )
+        if not 0.0 <= self.max_missing_fraction < 1.0:
+            raise ValueError(
+                f"max_missing_fraction must be in [0, 1), got {self.max_missing_fraction}"
+            )
+        if not 0.0 < self.min_overlap_fraction <= 1.0:
+            raise ValueError(
+                f"min_overlap_fraction must be in (0, 1], got {self.min_overlap_fraction}"
+            )
+
+    def min_overlap(self) -> int:
+        """Pairwise-overlap floor in time points (at least 2)."""
+        return max(2, int(round(self.min_overlap_fraction * self.window)))
 
     def effective_k(self, n_sensors: int) -> int:
         """``k`` capped at ``n_sensors - 1`` so tiny systems stay valid."""

@@ -14,6 +14,7 @@ read the returned :class:`RoundRecord`.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Iterable
 
 import numpy as np
@@ -23,7 +24,7 @@ from ..timeseries.mts import MultivariateTimeSeries
 from ..timeseries.windows import WindowSpec, iter_windows
 from .config import CADConfig
 from .coappearance import CoAppearanceTracker
-from .result import Anomaly, DetectionResult, RoundRecord
+from .result import Anomaly, DataQuality, DetectionResult, RoundRecord
 from .tsg import build_tsg
 from .variation import RunningMoments, outlier_set, transition_set
 
@@ -82,12 +83,13 @@ class CAD:
 
     def _outlier_detection(
         self, window_values: np.ndarray
-    ) -> tuple[frozenset[int], frozenset[int], int]:
+    ) -> tuple[frozenset[int], frozenset[int], int, DataQuality | None]:
         """One round of Algorithm 1.
 
-        Returns ``(O_r, transitions, c_r)``: the outlier set, the vertices
-        entering/leaving it (whose count is ``n_r``), and the number of
-        communities found.
+        Returns ``(O_r, transitions, c_r, quality)``: the outlier set, the
+        vertices entering/leaving it (whose count is ``n_r``), the number of
+        communities found, and the data-quality report (None on the
+        clean-feed path).
         """
         window_values = np.asarray(window_values, dtype=np.float64)
         if window_values.shape != (self.n_sensors, self.config.window):
@@ -95,18 +97,38 @@ class CAD:
                 f"expected window of shape ({self.n_sensors}, {self.config.window}), "
                 f"got {window_values.shape}"
             )
-        tsg = build_tsg(window_values, self._k, self.config.tau)
+        quality: DataQuality | None = None
+        valid: np.ndarray | None = None
+        if self.config.allow_missing:
+            window_values, quality, valid = self._degrade_window(window_values)
+        elif not np.isfinite(window_values).all():
+            raise ValueError(
+                "window contains non-finite readings; "
+                "set CADConfig(allow_missing=True) to run on degraded data"
+            )
+        tsg = build_tsg(
+            window_values,
+            self._k,
+            self.config.tau,
+            allow_missing=self.config.allow_missing,
+            min_overlap=self.config.min_overlap(),
+        )
         detect_communities = (
             louvain if self.config.community_method == "louvain" else label_propagation
         )
         partition = detect_communities(absolute_weight_graph(tsg))
-        update = self._tracker.update(np.array(partition.labels))
+        update = self._tracker.update(np.array(partition.labels), valid)
 
         if update is None:
             outliers: frozenset[int] = frozenset()
         else:
             _, rc = update
             outliers = outlier_set(rc, self.config.theta)
+        if quality is not None and quality.masked_sensors:
+            # A masked sensor's outlier status is frozen at its last observed
+            # state: absence of data is not evidence of a transition.
+            masked = quality.masked_sensors
+            outliers = (outliers - masked) | (self._previous_outliers & masked)
 
         if self.config.variation_sides == "both":
             transitions = transition_set(self._previous_outliers, outliers)
@@ -114,7 +136,33 @@ class CAD:
             transitions = frozenset(outliers - self._previous_outliers)
         self._previous_outliers = outliers
         self._rounds_processed += 1
-        return outliers, transitions, partition.n_communities
+        return outliers, transitions, partition.n_communities, quality
+
+    def _degrade_window(
+        self, window_values: np.ndarray
+    ) -> tuple[np.ndarray, DataQuality, np.ndarray | None]:
+        """Mask sensors whose window is too incomplete (degraded-data mode).
+
+        Returns the (possibly copied) window with masked sensors' rows fully
+        NaN — so they become isolated TSG vertices — plus the round's
+        :class:`DataQuality` report and the validity mask for the
+        co-appearance tracker (None when every sensor is valid).
+        """
+        observed = np.isfinite(window_values)
+        missing_fraction = 1.0 - float(observed.mean())
+        sensor_missing = 1.0 - observed.mean(axis=1)
+        masked = sensor_missing > self.config.max_missing_fraction
+        valid: np.ndarray | None = None
+        if masked.any():
+            window_values = window_values.copy()
+            window_values[masked, :] = np.nan
+            valid = ~masked
+        quality = DataQuality(
+            missing_fraction=missing_fraction,
+            masked_sensors=frozenset(int(s) for s in np.flatnonzero(masked)),
+            degraded=bool(masked.any() or missing_fraction > 0.0),
+        )
+        return window_values, quality, valid
 
     # ----------------------------------------------------------------- #
     # Warm-up (Algorithm 2, WarmUp)
@@ -130,7 +178,7 @@ class CAD:
         self._check_sensors(history)
         variations = []
         for window_values in iter_windows(history, self.spec):
-            _, transitions, _ = self._outlier_detection(window_values)
+            _, transitions, _, _ = self._outlier_detection(window_values)
             self._moments.push(len(transitions))
             variations.append(len(transitions))
         return variations
@@ -162,6 +210,7 @@ class CAD:
                 outliers=record.outliers,
                 variations=record.variations,
                 n_communities=record.n_communities,
+                quality=record.quality,
             )
             for record in records
         ]
@@ -181,7 +230,9 @@ class CAD:
         position in the full stream seen so far.
         """
         index = self._rounds_processed  # global round index before this call
-        outliers, transitions, n_communities = self._outlier_detection(window_values)
+        outliers, transitions, n_communities, quality = self._outlier_detection(
+            window_values
+        )
         n_r = len(transitions)
         mean, std = self._moments.snapshot()
         sigma = max(std, self.config.min_sigma)
@@ -205,6 +256,7 @@ class CAD:
             outliers=outliers,
             variations=transitions,
             n_communities=n_communities,
+            quality=quality,
         )
 
     def reset(self) -> None:
@@ -213,6 +265,42 @@ class CAD:
         self._moments = RunningMoments()
         self._previous_outliers = frozenset()
         self._rounds_processed = 0
+
+    # ----------------------------------------------------------------- #
+    # Checkpoint / restore
+    # ----------------------------------------------------------------- #
+
+    def to_state(self) -> dict:
+        """Full detector state as plain scalars/arrays.
+
+        Everything Algorithm 2 accumulates — the ``n_r`` moments, the
+        co-appearance history, the previous outlier set and the round
+        counter — so :meth:`from_state` resumes detection bit-identically.
+        Serialized to disk by :mod:`repro.core.checkpoint`.
+        """
+        return {
+            "config": asdict(self.config),
+            "n_sensors": self.n_sensors,
+            "rounds_processed": self._rounds_processed,
+            "previous_outliers": sorted(self._previous_outliers),
+            "moments": self._moments.to_state(),
+            "tracker": self._tracker.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CAD":
+        """Rebuild a detector from :meth:`to_state` output."""
+        config = CADConfig(**state["config"])
+        detector = cls(config, int(state["n_sensors"]))
+        detector._rounds_processed = int(state["rounds_processed"])
+        detector._previous_outliers = frozenset(
+            int(v) for v in state["previous_outliers"]
+        )
+        detector._moments = RunningMoments.from_state(state["moments"])
+        detector._tracker = CoAppearanceTracker.from_state(state["tracker"])
+        if detector._tracker.n_sensors != detector.n_sensors:
+            raise ValueError("checkpoint tracker width does not match n_sensors")
+        return detector
 
     def _check_sensors(self, series: MultivariateTimeSeries) -> None:
         if series.n_sensors != self.n_sensors:
@@ -281,10 +369,12 @@ def detect_anomalies(
 
     Builds a detector (with :meth:`CADConfig.suggest` defaults when no
     config is given), warms it up on ``history`` if provided, and detects
-    over ``series``.
+    over ``series``.  A series built with ``allow_missing=True`` switches
+    the suggested config into degraded-data mode automatically.
     """
     if config is None:
-        config = CADConfig.suggest(series.length, series.n_sensors)
+        allow = series.allow_missing or (history is not None and history.allow_missing)
+        config = CADConfig.suggest(series.length, series.n_sensors, allow_missing=allow)
     detector = CAD(config, series.n_sensors)
     if history is not None:
         detector.warm_up(history)

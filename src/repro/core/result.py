@@ -55,13 +55,43 @@ class Anomaly:
 
 
 @dataclass(frozen=True)
+class DataQuality:
+    """Data-quality report of one round (degraded-data mode only).
+
+    Attributes
+    ----------
+    missing_fraction:
+        Fraction of the round's window readings that were missing (NaN).
+    masked_sensors:
+        Sensors excluded from this round because more than
+        ``max_missing_fraction`` of their window was missing; they gained no
+        TSG edges and their RC was carried forward unchanged.
+    degraded:
+        True when the round saw any missing reading or masked sensor — i.e.
+        its decision was made on incomplete evidence.
+    """
+
+    missing_fraction: float
+    masked_sensors: frozenset[int]
+    degraded: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.missing_fraction <= 1.0:
+            raise ValueError(
+                f"missing_fraction must be in [0, 1], got {self.missing_fraction}"
+            )
+
+
+@dataclass(frozen=True)
 class RoundRecord:
     """Diagnostics of one detection round.
 
     ``mean``/``std`` are the moments of the ``n_r`` history *before* this
     round's value was appended — exactly what Algorithm 2 compares against.
     ``deviation`` is ``|n_r - mean| / (eta * max(std, min_sigma))`` so that
-    ``deviation >= 1`` is the paper's abnormality rule.
+    ``deviation >= 1`` is the paper's abnormality rule.  ``quality`` is the
+    round's :class:`DataQuality` report in degraded-data mode, None on the
+    clean-feed path.
     """
 
     index: int
@@ -75,6 +105,7 @@ class RoundRecord:
     outliers: frozenset[int]
     variations: frozenset[int]
     n_communities: int
+    quality: DataQuality | None = None
 
 
 class DetectionResult:
@@ -164,6 +195,14 @@ class DetectionResult:
     def variation_series(self) -> np.ndarray:
         """The ``n_r`` series over detection rounds (diagnostics/plots)."""
         return np.array([record.n_variations for record in self.rounds])
+
+    def degraded_rounds(self) -> list[RoundRecord]:
+        """Rounds whose decision was made on incomplete data."""
+        return [
+            record
+            for record in self.rounds
+            if record.quality is not None and record.quality.degraded
+        ]
 
     def __repr__(self) -> str:
         return (

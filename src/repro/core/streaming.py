@@ -6,6 +6,17 @@ first ``window`` samples and then after every further ``step`` samples.
 Because CAD's statistics (``mu``, ``sigma``, co-appearance history) are
 maintained incrementally, the stream can run forever: each round costs
 O(n log n) regardless of how much history has gone by.
+
+Samples are kept in a preallocated sliding buffer of ``2 * window`` columns:
+each push writes one column, and when the buffer fills, the still-needed
+tail (the last ``window - 1`` columns) is copied back to the front — O(n)
+amortised per push, versus the O(n * t) reallocation a naive ``hstack``
+would pay.
+
+For long-running deployments the full stream state (detector statistics and
+the sample buffer) round-trips through :meth:`StreamingCAD.save` /
+:meth:`StreamingCAD.load` — see :mod:`repro.core.checkpoint` — so a
+restarted process resumes mid-stream without warm-up replay.
 """
 
 from __future__ import annotations
@@ -26,7 +37,10 @@ class StreamingCAD:
     Parameters
     ----------
     config:
-        CAD hyper-parameters.
+        CAD hyper-parameters.  With ``config.allow_missing`` set, pushed
+        samples may contain NaN readings (a wholly missed timestamp is an
+        all-NaN sample); the detector masks sensors whose windows get too
+        incomplete instead of crashing.
     n_sensors:
         Width of each incoming sample.
     """
@@ -35,7 +49,9 @@ class StreamingCAD:
         self._detector = CAD(config, n_sensors)
         self._config = config
         self._n_sensors = n_sensors
-        self._buffer = np.empty((n_sensors, 0))
+        self._capacity = 2 * config.window
+        self._buffer = np.empty((n_sensors, self._capacity))
+        self._end = 0  # columns [0:_end) hold the most recent samples
         self._samples_seen = 0
         self._next_round_end = config.window
 
@@ -63,18 +79,29 @@ class StreamingCAD:
             raise ValueError(
                 f"expected sample of {self._n_sensors} readings, got {sample.shape}"
             )
-        self._buffer = np.hstack([self._buffer, sample[:, None]])
+        if self._config.allow_missing:
+            if np.isinf(sample).any():
+                raise ValueError("sample must not contain inf (NaN marks missing)")
+        elif not np.isfinite(sample).all():
+            raise ValueError(
+                "sample contains non-finite readings; "
+                "set CADConfig(allow_missing=True) to stream degraded data"
+            )
+        if self._end == self._capacity:
+            # Slide: only the last window - 1 columns can still be part of a
+            # future window once this sample lands.
+            keep = self._config.window - 1
+            self._buffer[:, :keep] = self._buffer[:, self._end - keep : self._end]
+            self._end = keep
+        self._buffer[:, self._end] = sample
+        self._end += 1
         self._samples_seen += 1
         if self._samples_seen < self._next_round_end:
             return None
 
-        window = self._buffer[:, -self._config.window :]
+        window = self._buffer[:, self._end - self._config.window : self._end]
         record = self._detector.process_window(window)
         self._next_round_end += self._config.step
-        # Keep only what future windows can still need.
-        keep = self._config.window - self._config.step
-        if self._buffer.shape[1] > keep:
-            self._buffer = self._buffer[:, -keep:]
         return record
 
     def push_many(self, samples: np.ndarray) -> list[RoundRecord]:
@@ -97,3 +124,46 @@ class StreamingCAD:
             record = self.push(np.asarray(sample))
             if record is not None and record.abnormal:
                 yield record
+
+    # ----------------------------------------------------------------- #
+    # Checkpoint / restore
+    # ----------------------------------------------------------------- #
+
+    def to_state(self) -> dict:
+        """Full stream state as plain arrays/scalars (see ``checkpoint``)."""
+        return {
+            "detector": self._detector.to_state(),
+            "samples_seen": self._samples_seen,
+            "next_round_end": self._next_round_end,
+            "buffer": self._buffer[:, : self._end].copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingCAD":
+        """Rebuild a stream from :meth:`to_state` output, bit-identically."""
+        detector = CAD.from_state(state["detector"])
+        stream = cls(detector.config, detector.n_sensors)
+        stream._detector = detector
+        stream._samples_seen = int(state["samples_seen"])
+        stream._next_round_end = int(state["next_round_end"])
+        buffer = np.asarray(state["buffer"], dtype=np.float64)
+        if buffer.ndim != 2 or buffer.shape[0] != detector.n_sensors:
+            raise ValueError(f"invalid checkpoint buffer shape {buffer.shape}")
+        if buffer.shape[1] > stream._capacity:
+            buffer = buffer[:, -stream._capacity :]
+        stream._buffer[:, : buffer.shape[1]] = buffer
+        stream._end = buffer.shape[1]
+        return stream
+
+    def save(self, path) -> None:
+        """Checkpoint the stream to ``path`` (an ``.npz`` file)."""
+        from .checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def load(cls, path) -> "StreamingCAD":
+        """Restore a stream checkpointed with :meth:`save`."""
+        from .checkpoint import load_checkpoint
+
+        return load_checkpoint(path)

@@ -10,10 +10,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph, knn_graph, prune_weak_edges
-from ..timeseries.correlation import pearson_matrix
+from ..timeseries.correlation import pearson_matrix, pearson_matrix_masked
 
 
-def build_tsg(window_values: np.ndarray, k: int, tau: float) -> Graph:
+def build_tsg(
+    window_values: np.ndarray,
+    k: int,
+    tau: float,
+    allow_missing: bool = False,
+    min_overlap: int = 2,
+) -> Graph:
     """Build the TSG of one ``(n, w)`` window.
 
     Parameters
@@ -24,8 +30,18 @@ def build_tsg(window_values: np.ndarray, k: int, tau: float) -> Graph:
         Neighbours per vertex before pruning; must be < n.
     tau:
         Correlation threshold; edges with ``|corr| < tau`` are dropped.
+    allow_missing:
+        Use the NaN-aware pairwise Pearson so windows with missing readings
+        still produce a graph; sensors without usable data become isolated
+        vertices.  A clean window yields the exact same TSG either way.
+    min_overlap:
+        Minimum pairwise-common readings for an edge to carry weight
+        (degraded mode only).
     """
-    corr = pearson_matrix(window_values)
+    if allow_missing:
+        corr = pearson_matrix_masked(window_values, min_overlap)
+    else:
+        corr = pearson_matrix(window_values)
     return prune_weak_edges(knn_graph(corr, k), tau)
 
 

@@ -71,3 +71,18 @@ class RunningMoments:
     def snapshot(self) -> tuple[float, float]:
         """Current ``(mean, std)`` pair."""
         return self.mean, self.std
+
+    def to_state(self) -> dict:
+        """Exact internal state, for checkpointing."""
+        return {"count": self._count, "mean": self._mean, "m2": self._m2}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningMoments":
+        """Rebuild from :meth:`to_state` output, bit-identically."""
+        moments = cls()
+        moments._count = int(state["count"])
+        moments._mean = float(state["mean"])
+        moments._m2 = float(state["m2"])
+        if moments._count < 0 or moments._m2 < 0.0:
+            raise ValueError("invalid RunningMoments state")
+        return moments

@@ -1,6 +1,13 @@
 """Synthetic datasets simulating the paper's eight benchmark datasets."""
 
 from .anomalies import ANOMALY_TYPES, AnomalySpec, InjectionContext, inject_anomaly
+from .faults import (
+    FaultModel,
+    inject_duplicates,
+    inject_missing_at_random,
+    inject_sensor_dropout,
+    inject_stuck_at,
+)
 from .generator import GeneratedSeries, NetworkConfig, SensorNetworkSimulator
 from .io import export_csv, import_csv, load_dataset_file, save_dataset
 from .registry import (
@@ -19,6 +26,11 @@ __all__ = [
     "ANOMALY_TYPES",
     "InjectionContext",
     "inject_anomaly",
+    "FaultModel",
+    "inject_missing_at_random",
+    "inject_sensor_dropout",
+    "inject_stuck_at",
+    "inject_duplicates",
     "NetworkConfig",
     "SensorNetworkSimulator",
     "GeneratedSeries",

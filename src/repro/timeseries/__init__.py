@@ -1,6 +1,12 @@
 """Time-series substrate: MTS container, windowing, correlation, scaling."""
 
-from .correlation import autocorrelation, pearson, pearson_matrix, top_k_neighbors
+from .correlation import (
+    autocorrelation,
+    pearson,
+    pearson_matrix,
+    pearson_matrix_masked,
+    top_k_neighbors,
+)
 from .mts import MultivariateTimeSeries
 from .normalization import MinMaxScaler, StandardScaler, minmax_unit, zscore
 from .periodicity import estimate_mts_period, estimate_period
@@ -13,6 +19,7 @@ __all__ = [
     "window_matrix",
     "pearson",
     "pearson_matrix",
+    "pearson_matrix_masked",
     "top_k_neighbors",
     "autocorrelation",
     "StandardScaler",

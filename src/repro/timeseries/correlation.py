@@ -46,6 +46,58 @@ def pearson_matrix(window: np.ndarray) -> np.ndarray:
     return corr
 
 
+def pearson_matrix_masked(window: np.ndarray, min_overlap: int = 2) -> np.ndarray:
+    """NaN-aware :func:`pearson_matrix` over pairwise-complete observations.
+
+    Each pair (i, j) is correlated over the time points where *both* sensors
+    have a reading.  A pair with fewer than ``min_overlap`` common points, or
+    whose overlap is constant, carries no usable correlation information and
+    gets 0 — the same convention :func:`pearson_matrix` uses for constant
+    rows.  A sensor with fewer than ``min_overlap`` readings of its own gets
+    a fully zeroed row/column (including the diagonal), so it becomes an
+    isolated TSG vertex instead of crashing the round.
+
+    A window without any NaN takes the exact :func:`pearson_matrix` code
+    path, so clean data produces bit-identical correlations in degraded mode.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 2:
+        raise ValueError(f"window must be 2-D, got shape {window.shape}")
+    if window.shape[1] < 2:
+        raise ValueError(f"window length must be >= 2 to correlate, got {window.shape[1]}")
+    if min_overlap < 2:
+        raise ValueError(f"min_overlap must be >= 2, got {min_overlap}")
+
+    observed = np.isfinite(window)
+    if observed.all():
+        return pearson_matrix(window)
+
+    # Missing entries contribute 0 to every product below, so plain matrix
+    # products accumulate sums over exactly the pairwise-common support.
+    x = np.where(observed, window, 0.0)
+    m = observed.astype(np.float64)
+    n_common = m @ m.T
+    sum_x = x @ m.T          # [i, j]: sum of sensor i over the common support
+    sum_xx = (x * x) @ m.T
+    sum_xy = x @ x.T
+    safe_n = np.maximum(n_common, 1.0)
+    cov = sum_xy - sum_x * sum_x.T / safe_n
+    var = sum_xx - sum_x * sum_x / safe_n  # [i, j]: variance of i on the support
+    denom = np.sqrt(np.maximum(var * var.T, 0.0))
+    usable = (n_common >= min_overlap) & (denom > 1e-12)
+    corr = np.where(usable, cov / np.where(usable, denom, 1.0), 0.0)
+    np.clip(corr, -1.0, 1.0, out=corr)
+
+    own_count = np.diag(n_common)
+    own_var = np.diag(var)
+    dead = (own_count < min_overlap) | (own_var <= 1e-12)
+    np.fill_diagonal(corr, 1.0)
+    if dead.any():
+        corr[dead, :] = 0.0
+        corr[:, dead] = 0.0
+    return corr
+
+
 def pearson(x: np.ndarray, y: np.ndarray) -> float:
     """Pearson correlation of two 1-D series (0.0 if either is constant)."""
     x = np.asarray(x, dtype=np.float64)

@@ -26,6 +26,12 @@ class MultivariateTimeSeries:
     sensor_names:
         Optional human-readable names, one per sensor.  Defaults to
         ``sensor_0 .. sensor_{n-1}``.
+    allow_missing:
+        When True, NaN entries are accepted and mean "no reading from this
+        sensor at this time point" (dropped packets, dead sensors).  The
+        default rejects any non-finite value, matching the paper's clean-feed
+        assumption.  Infinities are invalid either way — they are corrupt
+        readings, not absent ones.
 
     Notes
     -----
@@ -36,6 +42,7 @@ class MultivariateTimeSeries:
 
     values: np.ndarray
     sensor_names: tuple[str, ...] = field(default=())
+    allow_missing: bool = False
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values, dtype=np.float64)
@@ -45,8 +52,14 @@ class MultivariateTimeSeries:
             )
         if values.shape[0] == 0 or values.shape[1] == 0:
             raise ValueError(f"MTS must be non-empty, got shape {values.shape}")
-        if not np.isfinite(values).all():
-            raise ValueError("MTS values must be finite (no NaN/inf)")
+        if self.allow_missing:
+            if np.isinf(values).any():
+                raise ValueError("MTS values must not contain inf (NaN marks missing)")
+        elif not np.isfinite(values).all():
+            raise ValueError(
+                "MTS values must be finite (no NaN/inf); "
+                "pass allow_missing=True to accept NaN as a missing reading"
+            )
         values = values.copy()
         values.setflags(write=False)
         object.__setattr__(self, "values", values)
@@ -77,6 +90,16 @@ class MultivariateTimeSeries:
     def __len__(self) -> int:
         return self.length
 
+    def missing_mask(self) -> np.ndarray:
+        """Boolean ``(n, T)`` mask: True where a reading is missing (NaN)."""
+        return np.isnan(self.values)
+
+    def missing_fraction(self) -> float:
+        """Fraction of all readings that are missing (0.0 for a clean MTS)."""
+        if not self.allow_missing:
+            return 0.0
+        return float(np.isnan(self.values).mean())
+
     def sensor(self, index: int) -> np.ndarray:
         """Return the (read-only) time series of one sensor."""
         return self.values[index]
@@ -98,7 +121,9 @@ class MultivariateTimeSeries:
             raise ValueError(
                 f"invalid time slice [{start}, {stop}) for length {self.length}"
             )
-        return MultivariateTimeSeries(self.values[:, start:stop], self.sensor_names)
+        return MultivariateTimeSeries(
+            self.values[:, start:stop], self.sensor_names, self.allow_missing
+        )
 
     def select_sensors(self, indices: Sequence[int]) -> "MultivariateTimeSeries":
         """Return the sub-series containing only the given sensor rows."""
@@ -106,7 +131,7 @@ class MultivariateTimeSeries:
         if not indices:
             raise ValueError("select_sensors needs at least one sensor index")
         names = tuple(self.sensor_names[i] for i in indices)
-        return MultivariateTimeSeries(self.values[indices, :], names)
+        return MultivariateTimeSeries(self.values[indices, :], names, self.allow_missing)
 
     def iter_sensors(self) -> Iterator[tuple[str, np.ndarray]]:
         """Yield ``(name, series)`` pairs, one per sensor."""
@@ -122,7 +147,9 @@ class MultivariateTimeSeries:
         if other.sensor_names != self.sensor_names:
             raise ValueError("cannot concat MTS with different sensors")
         return MultivariateTimeSeries(
-            np.hstack([self.values, other.values]), self.sensor_names
+            np.hstack([self.values, other.values]),
+            self.sensor_names,
+            self.allow_missing or other.allow_missing,
         )
 
     @classmethod
@@ -130,6 +157,7 @@ class MultivariateTimeSeries:
         cls,
         rows: Sequence[Sequence[float]],
         sensor_names: Sequence[str] | None = None,
+        allow_missing: bool = False,
     ) -> "MultivariateTimeSeries":
         """Build an MTS from a sequence of per-sensor rows."""
-        return cls(np.asarray(rows, dtype=np.float64), tuple(sensor_names or ()))
+        return cls(np.asarray(rows, dtype=np.float64), tuple(sensor_names or ()), allow_missing)

@@ -1,0 +1,174 @@
+"""Checkpoint/restore: a resumed stream must be bit-identical to an
+uninterrupted one (the determinism the paper's Table VIII rests on)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CAD,
+    CADConfig,
+    CoAppearanceTracker,
+    RunningMoments,
+    StreamingCAD,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.timeseries import MultivariateTimeSeries
+
+
+def run_interrupted(config, values, cut, tmp_path, warm_up=None):
+    """Stream ``values`` with a save/load restart after ``cut`` samples."""
+    stream = StreamingCAD(config, values.shape[0])
+    if warm_up is not None:
+        stream.warm_up(warm_up)
+    records = stream.push_many(values[:, :cut])
+    path = tmp_path / "stream.npz"
+    stream.save(path)
+    resumed = StreamingCAD.load(path)
+    return records + resumed.push_many(values[:, cut:]), resumed
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cut", [37, 250, 743])
+    def test_resumed_records_bit_identical(self, toy_config, toy_values, cut, tmp_path):
+        uninterrupted = StreamingCAD(toy_config, 12)
+        expected = uninterrupted.push_many(toy_values[:, :1200])
+
+        got, resumed = run_interrupted(toy_config, toy_values[:, :1200], cut, tmp_path)
+
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            assert a == b  # frozen dataclass: every field, bit for bit
+        assert resumed.samples_seen == uninterrupted.samples_seen
+        assert resumed.detector.moments == uninterrupted.detector.moments
+
+    def test_round_trip_with_warm_up(self, toy_config, broken_series, tmp_path):
+        history, test, _, _ = broken_series
+        uninterrupted = StreamingCAD(toy_config, 12)
+        uninterrupted.warm_up(history)
+        expected = uninterrupted.push_many(test.values)
+
+        got, _ = run_interrupted(
+            toy_config, test.values, 333, tmp_path, warm_up=history
+        )
+        assert got == expected
+        assert any(record.abnormal for record in got)
+
+    def test_resume_before_first_window(self, toy_config, toy_values, tmp_path):
+        """A checkpoint taken before any round exists restores cleanly."""
+        got, _ = run_interrupted(
+            toy_config, toy_values[:, :300], toy_config.window // 2, tmp_path
+        )
+        uninterrupted = StreamingCAD(toy_config, 12)
+        assert got == uninterrupted.push_many(toy_values[:, :300])
+
+    def test_degraded_stream_round_trip(self, toy_config, toy_values, tmp_path):
+        """NaN readings in the buffer survive the checkpoint round-trip."""
+        from dataclasses import replace
+
+        config = replace(toy_config, allow_missing=True)
+        rng = np.random.default_rng(7)
+        values = toy_values[:, :600].copy()
+        values[rng.random(values.shape) < 0.05] = np.nan
+
+        uninterrupted = StreamingCAD(config, 12)
+        expected = uninterrupted.push_many(values)
+        got, _ = run_interrupted(config, values, 311, tmp_path)
+        assert got == expected
+
+    @pytest.mark.parametrize("rc_mode", ["running", "decay", "window"])
+    def test_all_rc_modes(self, toy_values, rc_mode, tmp_path):
+        from dataclasses import replace
+
+        config = CADConfig(
+            window=80, step=8, k=4, tau=0.5, theta=0.2, rc_mode=rc_mode, rc_window=6
+        )
+        uninterrupted = StreamingCAD(config, 12)
+        expected = uninterrupted.push_many(toy_values[:, :600])
+        got, _ = run_interrupted(config, toy_values[:, :600], 401, tmp_path)
+        assert got == expected
+
+
+class TestCheckpointFile:
+    def test_module_level_functions(self, toy_config, toy_values, tmp_path):
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, :200])
+        path = tmp_path / "ck.npz"
+        save_checkpoint(stream, path)
+        restored = load_checkpoint(path)
+        assert restored.samples_seen == 200
+        assert restored.detector.rounds_processed == stream.detector.rounds_processed
+
+    def test_config_survives(self, toy_config, toy_values, tmp_path):
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, :200])
+        path = tmp_path / "ck.npz"
+        stream.save(path)
+        assert StreamingCAD.load(path).detector.config == toy_config
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, scores=np.zeros(4))
+        with pytest.raises(ValueError, match="not a StreamingCAD checkpoint"):
+            load_checkpoint(path)
+
+    def test_rejects_unknown_version(self, toy_config, toy_values, tmp_path):
+        import json
+
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, :150])
+        path = tmp_path / "ck.npz"
+        stream.save(path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(str(arrays["meta"]))
+        meta["version"] = 999
+        arrays["meta"] = np.array(json.dumps(meta))
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_checkpoint(path)
+
+
+class TestComponentState:
+    def test_running_moments_state(self):
+        moments = RunningMoments()
+        for value in (3.0, 7.5, 1.25, 4.0):
+            moments.push(value)
+        restored = RunningMoments.from_state(moments.to_state())
+        assert restored.snapshot() == moments.snapshot()
+        assert restored.count == moments.count
+        moments.push(2.0)
+        restored.push(2.0)
+        assert restored.snapshot() == moments.snapshot()
+
+    def test_tracker_state_round_trip(self):
+        rng = np.random.default_rng(3)
+        tracker = CoAppearanceTracker(8, mode="window", window=4)
+        for _ in range(6):
+            tracker.update(rng.integers(0, 3, size=8))
+        restored = CoAppearanceTracker.from_state(tracker.to_state())
+        labels = rng.integers(0, 3, size=8)
+        a = tracker.update(labels)
+        b = restored.update(labels)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_cad_state_round_trip_mid_detect(self, toy_config):
+        from tests.conftest import correlated_values
+
+        values = correlated_values(seed=5)
+        series = MultivariateTimeSeries(values[:, :1600])
+        reference = CAD(toy_config, 12)
+        reference.warm_up(MultivariateTimeSeries(values[:, 1600:]))
+
+        restored = CAD.from_state(reference.to_state())
+        result_a = reference.detect(series)
+        result_b = restored.detect(series)
+        assert result_a.rounds == result_b.rounds
+
+    def test_tracker_width_mismatch_rejected(self, toy_config):
+        detector = CAD(toy_config, 12)
+        state = detector.to_state()
+        state["n_sensors"] = 13
+        with pytest.raises(ValueError):
+            CAD.from_state(state)
