@@ -1,0 +1,196 @@
+"""Round-pipeline throughput: seed vs incremental vs parallel engines.
+
+Unlike the paper benchmarks (pytest modules under this directory), this is
+a standalone script — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
+
+It measures stage A of a CAD round (window -> correlation -> TSG ->
+communities) across three modes over a grid of sensor counts:
+
+``seed``
+    ``engine="reference"`` — the original pipeline: full Pearson matrix
+    every round, dict graph, dict Louvain.
+``incremental``
+    ``engine="fast"``, one process — rolling-correlation kernel, CSR
+    TSG, array-backed Louvain.
+``parallel``
+    ``engine="fast"`` fanned over a 2-worker process pool
+    (:func:`repro.core.parallel.iter_round_communities`).  On a
+    single-core box this mode only pays pickling overhead; it earns its
+    keep on multi-core hardware.
+
+Timing is min-of-repeats (the box this grew up on jitters +/-10%), and
+every mode's community labels are cross-checked for equality — the fast
+paths must not buy speed with different answers.  Results go to
+``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import CADConfig
+from repro.core.parallel import iter_round_communities
+from repro.core.pipeline import CommunityPipeline
+
+MODES = ("seed", "incremental", "parallel")
+
+
+def synthetic_values(n_sensors: int, t_total: int, seed: int = 7) -> np.ndarray:
+    """Correlated multi-sensor series: 8 shared drivers plus sensor noise.
+
+    Shared drivers give the TSG real community structure, so Louvain does
+    representative work instead of collapsing to singletons.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(t_total)
+    periods = rng.uniform(120.0, 400.0, 8)
+    phases = rng.uniform(0.0, 6.0, 8)
+    drivers = np.vstack(
+        [np.sin(2.0 * np.pi * t / p + ph) for p, ph in zip(periods, phases)]
+    )
+    values = np.empty((n_sensors, t_total))
+    for i in range(n_sensors):
+        values[i] = (
+            rng.uniform(0.8, 1.2) * drivers[i % len(drivers)]
+            + 0.1 * rng.standard_normal(t_total)
+        )
+    return values
+
+
+def run_mode(
+    mode: str, values: np.ndarray, config: CADConfig, rounds: int, repeats: int
+) -> tuple[float, list[tuple[int, ...]]]:
+    """Best per-round wall time (ms) over ``repeats`` runs, plus the labels."""
+    n_sensors = values.shape[0]
+    step, window = config.step, config.window
+    windows = [values[:, r * step : r * step + window] for r in range(rounds)]
+    best_ms = float("inf")
+    labels: list[tuple[int, ...]] = []
+    for _ in range(repeats):
+        pipeline = CommunityPipeline(config, n_sensors)
+        start = time.perf_counter()
+        if mode == "parallel":
+            stages = list(iter_round_communities(pipeline, windows, n_jobs=2))
+        else:
+            stages = [pipeline.process(w) for w in windows]
+        elapsed_ms = (time.perf_counter() - start) * 1000.0 / rounds
+        best_ms = min(best_ms, elapsed_ms)
+        labels = [stage.labels for stage in stages]
+    return best_ms, labels
+
+
+def mode_config(mode: str, args: argparse.Namespace) -> CADConfig:
+    return CADConfig(
+        window=args.window,
+        step=args.step,
+        k=args.k,
+        tau=args.tau,
+        engine="reference" if mode == "seed" else "fast",
+        corr_refresh=args.refresh,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid for CI smoke (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_perf.json"), help="output JSON path"
+    )
+    parser.add_argument("--window", type=int, default=None)
+    parser.add_argument("--step", type=int, default=8)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--tau", type=float, default=0.5)
+    parser.add_argument("--refresh", type=int, default=64)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args()
+
+    if args.quick:
+        grid = [48, 96]
+        args.window = args.window or 600
+        args.rounds = args.rounds or 24
+        args.repeats = args.repeats or 1
+    else:
+        grid = [64, 128, 256, 512]
+        args.window = args.window or 3000
+        args.rounds = args.rounds or 120
+        args.repeats = args.repeats or 2
+
+    results: list[dict] = []
+    identical = True
+    for n_sensors in grid:
+        t_total = args.window + args.step * args.rounds
+        values = synthetic_values(n_sensors, t_total)
+        per_mode_ms: dict[str, float] = {}
+        per_mode_labels: dict[str, list[tuple[int, ...]]] = {}
+        for mode in MODES:
+            config = mode_config(mode, args)
+            ms, labels = run_mode(mode, values, config, args.rounds, args.repeats)
+            per_mode_ms[mode] = ms
+            per_mode_labels[mode] = labels
+            print(
+                f"n={n_sensors:4d}  {mode:<11s}  {ms:8.2f} ms/round  "
+                f"{1000.0 / ms:8.1f} rounds/s"
+            )
+        match = all(
+            per_mode_labels[mode] == per_mode_labels["seed"] for mode in MODES
+        )
+        identical = identical and match
+        speedup = per_mode_ms["seed"] / per_mode_ms["incremental"]
+        print(f"n={n_sensors:4d}  incremental speedup {speedup:.2f}x  identical={match}")
+        results.append(
+            {
+                "n_sensors": n_sensors,
+                "ms_per_round": {m: round(per_mode_ms[m], 3) for m in MODES},
+                "rounds_per_sec": {
+                    m: round(1000.0 / per_mode_ms[m], 2) for m in MODES
+                },
+                "incremental_speedup": round(speedup, 2),
+                "outputs_identical": match,
+            }
+        )
+
+    payload = {
+        "benchmark": "round_pipeline_throughput",
+        "quick": args.quick,
+        "config": {
+            "window": args.window,
+            "step": args.step,
+            "k": args.k,
+            "tau": args.tau,
+            "corr_refresh": args.refresh,
+            "rounds": args.rounds,
+            "repeats": args.repeats,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+        "all_outputs_identical": identical,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not identical:
+        print("FAIL: engine outputs diverged")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

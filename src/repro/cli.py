@@ -69,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--fault-seed", type=int, default=0, help="seed for the injected faults"
     )
+    detect.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for offline detection (-1 = all CPUs); "
+        "results are identical for any job count",
+    )
 
     compare = commands.add_parser("compare", help="compare methods on a dataset")
     compare.add_argument("--dataset", required=True, choices=dataset_names())
@@ -121,6 +128,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         k=data.recommended_k,
         theta=theta,
         allow_missing=allow_missing,
+        n_jobs=args.jobs,
     )
     test = data.test
     if args.fault_rate > 0.0:

@@ -34,12 +34,19 @@ def cross_correlation(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 
 def ncc_c(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """Coefficient-normalised cross-correlation (in [-1, 1] per shift)."""
-    denominator = float(np.linalg.norm(x) * np.linalg.norm(y))
+    """Coefficient-normalised cross-correlation (in [-1, 1] per shift).
+
+    Each factor's norm is tested against the zero threshold separately —
+    gating on the *product* would misclassify two small-but-nonzero series
+    (e.g. norms of ~1e-7 each) as degenerate and report distance 1 for a
+    series against itself.
+    """
+    norm_x = float(np.linalg.norm(x))
+    norm_y = float(np.linalg.norm(y))
     cc = cross_correlation(x, y)
-    if denominator <= 1e-12:
+    if norm_x <= 1e-12 or norm_y <= 1e-12:
         return np.zeros_like(cc)
-    return cc / denominator
+    return cc / (norm_x * norm_y)
 
 
 def sbd(x: np.ndarray, y: np.ndarray) -> tuple[float, int]:
@@ -76,10 +83,14 @@ def sbd_to_reference(rows: np.ndarray, reference: np.ndarray) -> tuple[np.ndarra
         cc = np.concatenate([cc[:, -(m - 1):], cc[:, :m]], axis=1)
     else:
         cc = cc[:, :1]
-    denominator = np.linalg.norm(reference) * np.linalg.norm(rows, axis=1)
-    safe = np.where(denominator <= 1e-12, 1.0, denominator)
+    ref_norm = float(np.linalg.norm(reference))
+    row_norms = np.linalg.norm(rows, axis=1)
+    # Per-factor zero tests, matching ncc_c: the product of two tiny norms
+    # underflows the threshold even when both series are genuinely nonzero.
+    degenerate = (row_norms <= 1e-12) | (ref_norm <= 1e-12)
+    safe = np.where(degenerate, 1.0, ref_norm * row_norms)
     ncc = cc / safe[:, None]
-    ncc[denominator <= 1e-12] = 0.0
+    ncc[degenerate] = 0.0
     best = np.argmax(ncc, axis=1)
     distances = 1.0 - ncc[np.arange(rows.shape[0]), best]
     shifts = best - (m - 1)

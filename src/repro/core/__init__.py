@@ -4,6 +4,8 @@ from .checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
 from .config import CADConfig
 from .coappearance import CoAppearanceTracker, coappearance_counts
 from .detector import CAD, assemble_anomalies, detect_anomalies
+from .parallel import resolve_jobs
+from .pipeline import CommunityPipeline, RoundCommunity
 from .postprocess import consolidate, drop_short, merge_nearby
 from .result import Anomaly, DataQuality, DetectionResult, RoundRecord
 from .rootcause import SensorCause, propagation_order, rank_root_causes
@@ -26,6 +28,9 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "build_tsg",
     "tsg_sequence",
+    "CommunityPipeline",
+    "RoundCommunity",
+    "resolve_jobs",
     "coappearance_counts",
     "CoAppearanceTracker",
     "outlier_set",

@@ -26,7 +26,8 @@ import numpy as np
 from .streaming import StreamingCAD
 
 #: Bump when the checkpoint layout changes; loaders reject unknown versions.
-CHECKPOINT_VERSION = 1
+#: Version 2 added the fast engine's rolling-correlation kernel state.
+CHECKPOINT_VERSION = 2
 
 _FORMAT = "repro-streaming-cad"
 
@@ -37,6 +38,7 @@ def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
     detector = state["detector"]
     tracker = detector["tracker"]
     moments = detector["moments"]
+    kernel = (detector.get("pipeline") or {}).get("kernel")
 
     meta = {
         "format": _FORMAT,
@@ -55,7 +57,25 @@ def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
         "has_last_rc": tracker["last_rc"] is not None,
         "samples_seen": state["samples_seen"],
         "next_round_end": state["next_round_end"],
+        "has_kernel": kernel is not None,
     }
+    if kernel is not None:
+        # Scalars ride in JSON; the float arrays go into the npz below so
+        # the kernel resumes bit-identically (incremental sums included).
+        meta["kernel"] = {
+            "n_sensors": kernel["n_sensors"],
+            "window": kernel["window"],
+            "step": kernel["step"],
+            "refresh_every": kernel["refresh_every"],
+            "min_overlap": kernel["min_overlap"],
+            "round": kernel["round"],
+            "dirty": kernel["dirty"],
+            "arrays": [
+                name
+                for name in ("baseline", "sums", "cross", "prev")
+                if kernel[name] is not None
+            ],
+        }
 
     arrays: dict[str, np.ndarray] = {
         "meta": np.array(json.dumps(meta)),
@@ -76,6 +96,9 @@ def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
         )
     if tracker["last_rc"] is not None:
         arrays["tracker_last_rc"] = np.asarray(tracker["last_rc"], dtype=np.float64)
+    if kernel is not None:
+        for name in meta["kernel"]["arrays"]:
+            arrays[f"kernel_{name}"] = np.asarray(kernel[name], dtype=np.float64)
 
     np.savez(path, **arrays)
 
@@ -104,6 +127,24 @@ def load_checkpoint(path: str | Path) -> StreamingCAD:
                 raise ValueError(f"{path}: truncated tracker history")
         else:
             history = []
+        kernel_state = None
+        if meta.get("has_kernel"):
+            kernel_meta = meta["kernel"]
+            kernel_state = {
+                "n_sensors": kernel_meta["n_sensors"],
+                "window": kernel_meta["window"],
+                "step": kernel_meta["step"],
+                "refresh_every": kernel_meta["refresh_every"],
+                "min_overlap": kernel_meta["min_overlap"],
+                "round": kernel_meta["round"],
+                "dirty": kernel_meta["dirty"],
+            }
+            for name in ("baseline", "sums", "cross", "prev"):
+                kernel_state[name] = (
+                    archive[f"kernel_{name}"]
+                    if name in kernel_meta["arrays"]
+                    else None
+                )
         state = {
             "detector": {
                 "config": meta["config"],
@@ -129,6 +170,7 @@ def load_checkpoint(path: str | Path) -> StreamingCAD:
                         archive["tracker_last_rc"] if meta["has_last_rc"] else None
                     ),
                 },
+                "pipeline": {"kernel": kernel_state},
             },
             "samples_seen": meta["samples_seen"],
             "next_round_end": meta["next_round_end"],

@@ -40,6 +40,17 @@ Collects every knob from the paper in one validated place:
 * ``min_overlap_fraction`` — floor on the pairwise-complete overlap (as a
   fraction of ``window``) below which a sensor pair's correlation is
   treated as unknown (edge weight 0).
+* ``engine`` — per-round implementation: ``"fast"`` (default; incremental
+  rolling correlation plus array-backed TSG/Louvain, see DESIGN.md) or
+  ``"reference"`` (the readable dict-based path, bit-identical to the
+  original pipeline).
+* ``corr_refresh`` — fast engine only: recompute the correlation matrix
+  exactly every this many rounds to bound floating-point drift of the
+  incremental updates.  Also the chunk alignment unit for parallel offline
+  detection.  1 disables the incremental path.
+* ``n_jobs`` — worker processes for *offline* ``warm_up``/``detect`` calls
+  (the streaming path is always single-threaded).  1 runs in-process, -1
+  uses every CPU.  Results are bit-identical for any job count.
 """
 
 from __future__ import annotations
@@ -69,6 +80,9 @@ class CADConfig:
     allow_missing: bool = False
     max_missing_fraction: float = 0.5
     min_overlap_fraction: float = 0.25
+    engine: str = "fast"
+    corr_refresh: int = 64
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.window < 2:
@@ -115,6 +129,14 @@ class CADConfig:
             raise ValueError(
                 f"min_overlap_fraction must be in (0, 1], got {self.min_overlap_fraction}"
             )
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
+        if self.corr_refresh < 1:
+            raise ValueError(f"corr_refresh must be >= 1, got {self.corr_refresh}")
+        if self.n_jobs != -1 and self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1 or -1 (all CPUs), got {self.n_jobs}")
 
     def min_overlap(self) -> int:
         """Pairwise-overlap floor in time points (at least 2)."""

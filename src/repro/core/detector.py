@@ -19,13 +19,13 @@ from typing import Iterable
 
 import numpy as np
 
-from ..graph import absolute_weight_graph, label_propagation, louvain
 from ..timeseries.mts import MultivariateTimeSeries
 from ..timeseries.windows import WindowSpec, iter_windows
 from .config import CADConfig
 from .coappearance import CoAppearanceTracker
+from .parallel import iter_round_communities
+from .pipeline import CommunityPipeline, RoundCommunity, degrade_window
 from .result import Anomaly, DataQuality, DetectionResult, RoundRecord
-from .tsg import build_tsg
 from .variation import RunningMoments, outlier_set, transition_set
 
 
@@ -46,7 +46,7 @@ class CAD:
             raise ValueError("CAD needs at least 2 sensors")
         self.config = config
         self.n_sensors = n_sensors
-        self._k = config.effective_k(n_sensors)
+        self._pipeline = CommunityPipeline(config, n_sensors)
         self._tracker = CoAppearanceTracker(
             n_sensors,
             mode=config.rc_mode,
@@ -91,33 +91,19 @@ class CAD:
         communities found, and the data-quality report (None on the
         clean-feed path).
         """
-        window_values = np.asarray(window_values, dtype=np.float64)
-        if window_values.shape != (self.n_sensors, self.config.window):
-            raise ValueError(
-                f"expected window of shape ({self.n_sensors}, {self.config.window}), "
-                f"got {window_values.shape}"
-            )
-        quality: DataQuality | None = None
-        valid: np.ndarray | None = None
-        if self.config.allow_missing:
-            window_values, quality, valid = self._degrade_window(window_values)
-        elif not np.isfinite(window_values).all():
-            raise ValueError(
-                "window contains non-finite readings; "
-                "set CADConfig(allow_missing=True) to run on degraded data"
-            )
-        tsg = build_tsg(
-            window_values,
-            self._k,
-            self.config.tau,
-            allow_missing=self.config.allow_missing,
-            min_overlap=self.config.min_overlap(),
-        )
-        detect_communities = (
-            louvain if self.config.community_method == "louvain" else label_propagation
-        )
-        partition = detect_communities(absolute_weight_graph(tsg))
-        update = self._tracker.update(np.array(partition.labels), valid)
+        return self._apply_stage(self._pipeline.process(window_values))
+
+    def _apply_stage(
+        self, stage: RoundCommunity
+    ) -> tuple[frozenset[int], frozenset[int], int, DataQuality | None]:
+        """Stage B of a round: tracker update, outlier set, transitions.
+
+        Consumes the community structure produced by stage A (either
+        in-process via :meth:`CommunityPipeline.process` or shipped back
+        from a parallel worker) and advances the sequential state.
+        """
+        quality = stage.quality
+        update = self._tracker.update(np.array(stage.labels), stage.valid_array())
 
         if update is None:
             outliers: frozenset[int] = frozenset()
@@ -136,49 +122,37 @@ class CAD:
             transitions = frozenset(outliers - self._previous_outliers)
         self._previous_outliers = outliers
         self._rounds_processed += 1
-        return outliers, transitions, partition.n_communities, quality
+        return outliers, transitions, stage.n_communities, quality
 
     def _degrade_window(
         self, window_values: np.ndarray
     ) -> tuple[np.ndarray, DataQuality, np.ndarray | None]:
         """Mask sensors whose window is too incomplete (degraded-data mode).
 
-        Returns the (possibly copied) window with masked sensors' rows fully
-        NaN — so they become isolated TSG vertices — plus the round's
-        :class:`DataQuality` report and the validity mask for the
-        co-appearance tracker (None when every sensor is valid).
+        Delegates to :func:`repro.core.pipeline.degrade_window`, which is
+        where stage A (including parallel workers) applies the same rule.
         """
-        observed = np.isfinite(window_values)
-        missing_fraction = 1.0 - float(observed.mean())
-        sensor_missing = 1.0 - observed.mean(axis=1)
-        masked = sensor_missing > self.config.max_missing_fraction
-        valid: np.ndarray | None = None
-        if masked.any():
-            window_values = window_values.copy()
-            window_values[masked, :] = np.nan
-            valid = ~masked
-        quality = DataQuality(
-            missing_fraction=missing_fraction,
-            masked_sensors=frozenset(int(s) for s in np.flatnonzero(masked)),
-            degraded=bool(masked.any() or missing_fraction > 0.0),
-        )
-        return window_values, quality, valid
+        return degrade_window(window_values, self.config)
 
     # ----------------------------------------------------------------- #
     # Warm-up (Algorithm 2, WarmUp)
     # ----------------------------------------------------------------- #
 
-    def warm_up(self, history: MultivariateTimeSeries) -> list[int]:
+    def warm_up(
+        self, history: MultivariateTimeSeries, n_jobs: int | None = None
+    ) -> list[int]:
         """Process historical data to seed ``mu`` and ``sigma``.
 
         Returns the ``n_r`` series observed during warm-up (diagnostics).
         The co-appearance tracker, outlier state and moments all carry over
-        into detection, exactly as in Algorithm 2.
+        into detection, exactly as in Algorithm 2.  ``n_jobs`` overrides
+        ``config.n_jobs`` for this call; any job count yields bit-identical
+        state.
         """
         self._check_sensors(history)
         variations = []
-        for window_values in iter_windows(history, self.spec):
-            _, transitions, _, _ = self._outlier_detection(window_values)
+        for stage in self._stage_results(history, n_jobs):
+            _, transitions, _, _ = self._apply_stage(stage)
             self._moments.push(len(transitions))
             variations.append(len(transitions))
         return variations
@@ -187,13 +161,21 @@ class CAD:
     # Detection (Algorithm 2, main loop)
     # ----------------------------------------------------------------- #
 
-    def detect(self, series: MultivariateTimeSeries) -> DetectionResult:
-        """Run anomaly detection over ``series`` and return the result."""
+    def detect(
+        self, series: MultivariateTimeSeries, n_jobs: int | None = None
+    ) -> DetectionResult:
+        """Run anomaly detection over ``series`` and return the result.
+
+        ``n_jobs`` overrides ``config.n_jobs`` for this call: 1 processes
+        rounds in-process, more fans stage A (correlation -> TSG ->
+        communities) over worker processes with bit-identical output (see
+        :mod:`repro.core.parallel`).
+        """
         self._check_sensors(series)
         spec = self.spec
         records = [
-            self.process_window(window_values)
-            for window_values in iter_windows(series, spec)
+            self._record_from_stage(stage)
+            for stage in self._stage_results(series, n_jobs)
         ]
         # Re-index records relative to this detection segment.
         base = records[0].index if records else 0
@@ -229,10 +211,20 @@ class CAD:
         across the warm-up), so the record's ``start``/``stop`` describe the
         position in the full stream seen so far.
         """
-        index = self._rounds_processed  # global round index before this call
-        outliers, transitions, n_communities, quality = self._outlier_detection(
-            window_values
+        return self._record_from_stage(self._pipeline.process(window_values))
+
+    def _stage_results(self, series: MultivariateTimeSeries, n_jobs: int | None):
+        """Stage-A results for every window of ``series``, in round order."""
+        if n_jobs is None:
+            n_jobs = self.config.n_jobs
+        return iter_round_communities(
+            self._pipeline, iter_windows(series, self.spec), n_jobs
         )
+
+    def _record_from_stage(self, stage: RoundCommunity) -> RoundRecord:
+        """Stage B plus scoring: turn a stage-A result into a RoundRecord."""
+        index = self._rounds_processed  # global round index before this call
+        outliers, transitions, n_communities, quality = self._apply_stage(stage)
         n_r = len(transitions)
         mean, std = self._moments.snapshot()
         sigma = max(std, self.config.min_sigma)
@@ -260,7 +252,8 @@ class CAD:
         )
 
     def reset(self) -> None:
-        """Forget all accumulated state (tracker, outliers, moments)."""
+        """Forget all accumulated state (tracker, outliers, moments, kernel)."""
+        self._pipeline.reset()
         self._tracker.reset()
         self._moments = RunningMoments()
         self._previous_outliers = frozenset()
@@ -275,7 +268,8 @@ class CAD:
 
         Everything Algorithm 2 accumulates — the ``n_r`` moments, the
         co-appearance history, the previous outlier set and the round
-        counter — so :meth:`from_state` resumes detection bit-identically.
+        counter, plus the fast engine's rolling-correlation kernel — so
+        :meth:`from_state` resumes detection bit-identically.
         Serialized to disk by :mod:`repro.core.checkpoint`.
         """
         return {
@@ -285,6 +279,7 @@ class CAD:
             "previous_outliers": sorted(self._previous_outliers),
             "moments": self._moments.to_state(),
             "tracker": self._tracker.to_state(),
+            "pipeline": self._pipeline.to_state(),
         }
 
     @classmethod
@@ -298,6 +293,9 @@ class CAD:
         )
         detector._moments = RunningMoments.from_state(state["moments"])
         detector._tracker = CoAppearanceTracker.from_state(state["tracker"])
+        # States written before the fast engine existed carry no pipeline
+        # entry; the kernel then simply refreshes exactly on its next round.
+        detector._pipeline.restore_state(state.get("pipeline"))
         if detector._tracker.n_sensors != detector.n_sensors:
             raise ValueError("checkpoint tracker width does not match n_sensors")
         return detector

@@ -1,0 +1,155 @@
+"""Parallel offline execution of stage A (window -> communities).
+
+``CAD.warm_up`` and ``CAD.detect`` see all their windows up front, so the
+expensive stage-A work can fan out over a process pool while stage B (the
+sequential tracker/moments replay) stays in the main process.  The output
+is **bit-identical** to a sequential run for any job count:
+
+* The reference engine has no cross-round state at all — every chunk split
+  is trivially safe.
+* The fast engine's only cross-round state is the rolling-correlation
+  kernel, and that kernel re-anchors itself with an unconditional exact
+  refresh whenever ``absolute_round % corr_refresh == 0``.  At an anchor
+  the post-refresh state is a function of the current window and the round
+  counter alone, so a worker that starts a *fresh* kernel at an anchor
+  round reproduces the sequential kernel's float state exactly.  Chunks
+  are therefore cut only at anchor rounds; the first (possibly unaligned)
+  chunk ships the live kernel state instead.
+
+The main pipeline adopts the last chunk's final kernel state afterwards,
+so a subsequent streaming ``process_window`` continues exactly where a
+sequential run would have.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .config import CADConfig
+from .pipeline import CommunityPipeline, RoundCommunity
+
+#: Chunks per worker the scheduler aims for — enough slack to balance load
+#: without drowning in inter-process pickling overhead.
+_CHUNKS_PER_JOB = 4
+
+
+def resolve_jobs(n_jobs: int | None) -> int:
+    """Normalise a job count: None -> 1, -1 -> all CPUs, else validated."""
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1 (all CPUs), got {n_jobs}")
+    return n_jobs
+
+
+def _stage_chunk(
+    config: CADConfig,
+    n_sensors: int,
+    kernel_state: dict | None,
+    start_round: int,
+    windows: list[np.ndarray],
+    return_kernel: bool,
+) -> tuple[list[RoundCommunity], dict | None]:
+    """Worker entry point: run stage A over one chunk of windows.
+
+    ``kernel_state`` seeds the first (unaligned) chunk; every other chunk
+    starts a fresh kernel positioned at its anchor ``start_round``.  Only
+    the final chunk serialises its kernel back (``return_kernel``) — that
+    state includes a full window, which is not worth shipping per chunk.
+    """
+    pipeline = CommunityPipeline(config, n_sensors)
+    if pipeline.kernel is not None:
+        if kernel_state is not None:
+            pipeline.restore_state({"kernel": kernel_state})
+        else:
+            pipeline.kernel.seek(start_round)
+    stages = [pipeline.process(window) for window in windows]
+    kernel_after = None
+    if return_kernel and pipeline.kernel is not None:
+        kernel_after = pipeline.kernel.to_state()
+    return stages, kernel_after
+
+
+def _chunk_bounds(
+    start_round: int, n_rounds: int, refresh: int | None, jobs: int
+) -> list[tuple[int, int]]:
+    """Half-open local chunk bounds; every cut after the first sits on an
+    anchor round when ``refresh`` is given (fast engine)."""
+    target = max(1, math.ceil(n_rounds / (jobs * _CHUNKS_PER_JOB)))
+    if refresh is None:
+        stride = target
+        first_cut = min(stride, n_rounds)
+    else:
+        stride = max(refresh, math.ceil(target / refresh) * refresh)
+        # First anchor strictly inside the segment; everything before it
+        # must stay with the live kernel state.
+        offset = (-start_round) % refresh
+        first_cut = offset if offset > 0 else min(stride, n_rounds)
+        if first_cut >= n_rounds:
+            return [(0, n_rounds)]
+    bounds = [(0, first_cut)]
+    lo = first_cut
+    while lo < n_rounds:
+        hi = min(lo + stride, n_rounds)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def iter_round_communities(
+    pipeline: CommunityPipeline,
+    windows: Iterable[np.ndarray],
+    n_jobs: int | None = 1,
+) -> Iterator[RoundCommunity]:
+    """Yield stage-A results for ``windows`` in round order.
+
+    With ``n_jobs == 1`` this streams through the caller's pipeline
+    in-process.  With more jobs it fans refresh-aligned chunks over a
+    process pool, yields the (identical) results in order, and leaves the
+    pipeline's kernel in the same state a sequential run would have.
+    """
+    jobs = resolve_jobs(n_jobs)
+    if jobs == 1:
+        for window in windows:
+            yield pipeline.process(window)
+        return
+
+    window_list = [np.ascontiguousarray(w, dtype=np.float64) for w in windows]
+    n_rounds = len(window_list)
+    if n_rounds == 0:
+        return
+
+    kernel = pipeline.kernel
+    start_round = 0 if kernel is None else kernel.rounds_seen
+    refresh = None if kernel is None else kernel.refresh_every
+    bounds = _chunk_bounds(start_round, n_rounds, refresh, jobs)
+    first_kernel_state = None if kernel is None else kernel.to_state()
+
+    last_kernel_state: dict | None = None
+    with ProcessPoolExecutor(max_workers=min(jobs, len(bounds))) as pool:
+        futures = [
+            pool.submit(
+                _stage_chunk,
+                pipeline.config,
+                pipeline.n_sensors,
+                first_kernel_state if index == 0 else None,
+                start_round + lo,
+                window_list[lo:hi],
+                index == len(bounds) - 1,
+            )
+            for index, (lo, hi) in enumerate(bounds)
+        ]
+        for future in futures:
+            stages, kernel_after = future.result()
+            if kernel_after is not None:
+                last_kernel_state = kernel_after
+            yield from stages
+    if kernel is not None and last_kernel_state is not None:
+        pipeline.restore_state({"kernel": last_kernel_state})

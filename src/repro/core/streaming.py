@@ -99,7 +99,10 @@ class StreamingCAD:
         if self._samples_seen < self._next_round_end:
             return None
 
-        window = self._buffer[:, self._end - self._config.window : self._end]
+        # Copied, not a view: the buffer compacts in place when it fills,
+        # and the fast engine's kernel keeps the previous round's window by
+        # reference for its overlap check.
+        window = self._buffer[:, self._end - self._config.window : self._end].copy()
         record = self._detector.process_window(window)
         self._next_round_end += self._config.step
         return record

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph import Graph, knn_graph, prune_weak_edges
+from ..graph import Graph
+from ..graph.csr import tsg_edge_arrays
 from ..timeseries.correlation import pearson_matrix, pearson_matrix_masked
 
 
@@ -42,7 +43,14 @@ def build_tsg(
         corr = pearson_matrix_masked(window_values, min_overlap)
     else:
         corr = pearson_matrix(window_values)
-    return prune_weak_edges(knn_graph(corr, k), tau)
+    # Vectorised edge selection (identical edges to the per-edge
+    # knn_graph + prune_weak_edges loops, without the dict churn); the
+    # result stays a dict Graph because this is the inspectable API.
+    rows, cols, weights = tsg_edge_arrays(corr, k, tau)
+    graph = Graph(corr.shape[0])
+    for u, v, w in zip(rows, cols, weights):
+        graph.add_edge(int(u), int(v), float(w))
+    return graph
 
 
 def tsg_sequence(windows, k: int, tau: float):

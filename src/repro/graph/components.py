@@ -22,7 +22,7 @@ def connected_components(graph: Graph) -> list[list[int]]:
         while stack:
             v = stack.pop()
             component.append(v)
-            for u in graph.neighbors(v):
+            for u in graph.neighbors_view(v):
                 if not seen[u]:
                     seen[u] = True
                     stack.append(u)

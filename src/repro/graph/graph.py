@@ -8,7 +8,8 @@ Vertices are integers ``0 .. n-1``.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping
 
 
 class Graph:
@@ -18,7 +19,7 @@ class Graph:
     information for TSGs).  Adding an edge twice overwrites its weight.
     """
 
-    __slots__ = ("_n", "_adj", "_n_edges")
+    __slots__ = ("_n", "_adj", "_n_edges", "_total_weight")
 
     def __init__(self, n_vertices: int):
         if n_vertices < 1:
@@ -26,6 +27,7 @@ class Graph:
         self._n = n_vertices
         self._adj: list[dict[int, float]] = [{} for _ in range(n_vertices)]
         self._n_edges = 0
+        self._total_weight = 0.0
 
     @property
     def n_vertices(self) -> int:
@@ -45,16 +47,21 @@ class Graph:
         self._check_vertex(v)
         if u == v:
             raise ValueError(f"self-loop on vertex {u} is not allowed")
+        weight = float(weight)
         if v not in self._adj[u]:
             self._n_edges += 1
-        self._adj[u][v] = float(weight)
-        self._adj[v][u] = float(weight)
+            self._total_weight += weight
+        else:
+            self._total_weight += weight - self._adj[u][v]
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
 
     def remove_edge(self, u: int, v: int) -> None:
         self._check_vertex(u)
         self._check_vertex(v)
         if v not in self._adj[u]:
             raise KeyError(f"no edge between {u} and {v}")
+        self._total_weight -= self._adj[u][v]
         del self._adj[u][v]
         del self._adj[v][u]
         self._n_edges -= 1
@@ -73,12 +80,24 @@ class Graph:
             raise KeyError(f"no edge between {u} and {v}") from None
 
     def neighbors(self, v: int) -> dict[int, float]:
-        """Read-only view of ``v``'s neighbour -> weight mapping.
+        """``v``'s neighbour -> weight mapping as a fresh dict.
 
         Returned as a shallow copy so callers cannot corrupt the adjacency.
+        Hot loops that only *read* should use :meth:`neighbors_view`, which
+        is O(1) instead of O(degree).
         """
         self._check_vertex(v)
         return dict(self._adj[v])
+
+    def neighbors_view(self, v: int) -> Mapping[int, float]:
+        """Zero-copy read-only view of ``v``'s neighbour -> weight mapping.
+
+        The view tracks later mutations of the graph; callers that need a
+        stable snapshot must use :meth:`neighbors`.  Attempting to assign
+        through the view raises ``TypeError``.
+        """
+        self._check_vertex(v)
+        return MappingProxyType(self._adj[v])
 
     def degree(self, v: int) -> int:
         """Number of incident edges of ``v``."""
@@ -91,8 +110,13 @@ class Graph:
         return sum(self._adj[v].values())
 
     def total_weight(self) -> float:
-        """Sum of all edge weights (each undirected edge counted once)."""
-        return sum(self.weighted_degree(v) for v in range(self._n)) / 2.0
+        """Sum of all edge weights (each undirected edge counted once).
+
+        Maintained incrementally by :meth:`add_edge` / :meth:`remove_edge`,
+        so this is O(1) instead of the O(V + E) recomputation modularity and
+        Louvain used to trigger on every call.
+        """
+        return self._total_weight
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
         """Yield each undirected edge once as ``(u, v, weight)`` with u < v."""

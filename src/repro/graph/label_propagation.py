@@ -35,7 +35,7 @@ def label_propagation(graph: Graph, max_sweeps: int = 50) -> LouvainResult:
     for _ in range(max_sweeps):
         changed = False
         for v in range(n):
-            neighbors = graph.neighbors(v)
+            neighbors = graph.neighbors_view(v)
             if not neighbors:
                 continue
             weight_per_label: dict[int, float] = {}

@@ -12,6 +12,7 @@ weights.  CAD feeds Louvain the *absolute* correlations of the TSG.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from .graph import Graph
 from .modularity import modularity
@@ -54,7 +55,7 @@ class _Level:
 
     __slots__ = ("adj", "self_weight", "degree", "two_m")
 
-    def __init__(self, adj: list[dict[int, float]], self_weight: list[float]):
+    def __init__(self, adj: list[Mapping[int, float]], self_weight: list[float]):
         self.adj = adj
         self.self_weight = self_weight
         self.degree = [
@@ -64,7 +65,9 @@ class _Level:
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "_Level":
-        adj = [graph.neighbors(v) for v in range(graph.n_vertices)]
+        # Levels only read the adjacency, so the zero-copy view avoids the
+        # O(E) dict duplication the copying accessor would pay per pass.
+        adj = [graph.neighbors_view(v) for v in range(graph.n_vertices)]
         return cls(adj, [0.0] * graph.n_vertices)
 
     @property

@@ -9,6 +9,7 @@ from .correlation import (
 )
 from .mts import MultivariateTimeSeries
 from .normalization import MinMaxScaler, StandardScaler, minmax_unit, zscore
+from .rolling import RollingCorrelation
 from .periodicity import estimate_mts_period, estimate_period
 from .windows import WindowSpec, iter_windows, window_matrix
 
@@ -21,6 +22,7 @@ __all__ = [
     "pearson_matrix",
     "pearson_matrix_masked",
     "top_k_neighbors",
+    "RollingCorrelation",
     "autocorrelation",
     "StandardScaler",
     "MinMaxScaler",

@@ -115,14 +115,18 @@ def pearson(x: np.ndarray, y: np.ndarray) -> float:
     return float(np.clip((xc @ yc) / (nx * ny), -1.0, 1.0))
 
 
-def top_k_neighbors(corr: np.ndarray, k: int) -> np.ndarray:
+def top_k_neighbors(corr: np.ndarray, k: int, ordered: bool = True) -> np.ndarray:
     """Indices of each row's ``k`` most-correlated *other* rows.
 
     Neighbours are ranked by absolute correlation, matching the paper's
     pruning rule ``|w(e)| < tau`` which treats strong negative correlation as
     informative structure too.
 
-    Returns an ``(n, k)`` integer array.  ``k`` must be < ``n``.
+    Returns an ``(n, k)`` integer array.  ``k`` must be < ``n``.  With
+    ``ordered=False`` the within-row sort (strongest first, ties by index)
+    is skipped — the *set* per row is identical, in argpartition order;
+    callers that only test membership (TSG edge selection) save the
+    ranking pass.
     """
     corr = np.asarray(corr, dtype=np.float64)
     n = corr.shape[0]
@@ -131,13 +135,15 @@ def top_k_neighbors(corr: np.ndarray, k: int) -> np.ndarray:
     if not 1 <= k < n:
         raise ValueError(f"k must be in [1, n), got k={k} n={n}")
 
-    strength = np.abs(corr).copy()
+    strength = np.abs(corr)
     np.fill_diagonal(strength, -np.inf)
-    # argpartition gives the top-k set in O(n); sort within it for
-    # deterministic ordering (strongest first, ties by index).
-    part = np.argpartition(-strength, kth=k - 1, axis=1)[:, :k]
+    np.negative(strength, out=strength)  # in place: no extra (n, n) temporary
+    # argpartition gives the top-k set in O(n).
+    part = np.argpartition(strength, kth=k - 1, axis=1)[:, :k]
+    if not ordered:
+        return part
     row_idx = np.arange(n)[:, None]
-    order = np.lexsort((part, -strength[row_idx, part]), axis=1)
+    order = np.lexsort((part, strength[row_idx, part]), axis=1)
     return part[row_idx, order]
 
 

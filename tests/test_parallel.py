@@ -1,0 +1,207 @@
+"""Parallel offline detection must be bit-identical to sequential runs.
+
+The chunk scheduler cuts a detection segment only at the rolling kernel's
+exact-refresh anchors, so a worker's fresh kernel reproduces the sequential
+kernel's float state — making ``n_jobs`` purely a throughput knob.  These
+tests compare full :class:`RoundRecord` sequences (dataclass equality
+covers every field, floats included), the assembled anomalies, and the
+post-run detector state across job counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CAD, CADConfig, StreamingCAD
+from repro.core.parallel import _chunk_bounds, resolve_jobs
+from repro.timeseries import MultivariateTimeSeries
+
+
+def make_series(seed=0, n_sensors=9, length=1400, missing_rate=0.0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    drivers = np.vstack(
+        [
+            np.sin(2 * np.pi * t / rng.uniform(18, 40) + rng.uniform(0, 6))
+            for _ in range(3)
+        ]
+    )
+    values = np.empty((n_sensors, length))
+    for i in range(n_sensors):
+        values[i] = (
+            rng.uniform(0.8, 1.2) * drivers[i % 3]
+            + 0.05 * rng.standard_normal(length)
+        )
+    # Correlation break on two sensors in the second half.
+    lo, hi = int(0.64 * length), int(0.75 * length)
+    values[0, lo:hi] = np.cos(np.linspace(0, 47, hi - lo))
+    values[3, lo:hi] = np.cos(np.linspace(0, 31, hi - lo))
+    allow_missing = missing_rate > 0.0
+    if allow_missing:
+        mask = rng.random(values.shape) < missing_rate
+        values = values.copy()
+        values[mask] = np.nan
+        values[5, 200:600] = np.nan  # one sensor goes fully dark for a while
+    return MultivariateTimeSeries(values, allow_missing=allow_missing)
+
+
+def assert_state_equal(a, b):
+    """Deep equality over detector state dicts (numpy arrays, NaN included)."""
+    if isinstance(a, dict):
+        assert isinstance(b, dict) and a.keys() == b.keys()
+        for key in a:
+            assert_state_equal(a[key], b[key])
+    elif isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        assert np.array_equal(np.asarray(a), np.asarray(b), equal_nan=True)
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_state_equal(x, y)
+    elif isinstance(a, float) and isinstance(b, float) and np.isnan(a):
+        assert np.isnan(b)  # NaN markers in degraded windows compare equal
+    else:
+        assert a == b
+
+
+def make_config(**overrides):
+    params = dict(
+        window=70,
+        step=7,
+        k=4,
+        tau=0.5,
+        theta=0.2,
+        rc_mode="window",
+        rc_window=6,
+        corr_refresh=8,
+    )
+    params.update(overrides)
+    return CADConfig(**params)
+
+
+class TestResolveJobs:
+    def test_defaults_and_all_cpus(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(-1) >= 1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestChunkBounds:
+    def test_cuts_only_on_anchors(self):
+        refresh = 8
+        for start in (0, 3, 8, 13):
+            bounds = _chunk_bounds(start, 50, refresh, jobs=4)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == 50
+            for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                assert hi == lo
+                assert (start + lo) % refresh == 0  # anchor-aligned cut
+            total = sum(hi - lo for lo, hi in bounds)
+            assert total == 50
+
+    def test_reference_engine_splits_evenly(self):
+        bounds = _chunk_bounds(0, 100, None, jobs=4)
+        assert bounds[0] == (0, 7)
+        assert bounds[-1][1] == 100
+
+    def test_segment_shorter_than_refresh(self):
+        assert _chunk_bounds(3, 4, 64, jobs=4) == [(0, 4)]
+
+
+class TestParallelDetect:
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_identical_to_sequential(self, n_jobs):
+        series = make_series()
+        sequential = CAD(make_config(), series.n_sensors)
+        parallel = CAD(make_config(), series.n_sensors)
+        result_seq = sequential.detect(series)
+        result_par = parallel.detect(series, n_jobs=n_jobs)
+        assert result_par.rounds == result_seq.rounds
+        assert result_par.anomalies == result_seq.anomalies
+        assert parallel.moments == sequential.moments
+        # Full post-run state (kernel sums included) must match, so any
+        # later streaming continues identically.
+        assert_state_equal(parallel.to_state(), sequential.to_state())
+
+    def test_identical_after_warm_up_unaligned_chunks(self):
+        # Warm-up leaves the kernel mid-interval (25 rounds, refresh 8), so
+        # the parallel detect's first chunk must ship live kernel state.
+        series = make_series(seed=5)
+        history = MultivariateTimeSeries(make_series(seed=6).values[:, :250])
+        sequential = CAD(make_config(), series.n_sensors)
+        parallel = CAD(make_config(), series.n_sensors)
+        assert sequential.warm_up(history) == parallel.warm_up(history)
+        result_seq = sequential.detect(series)
+        result_par = parallel.detect(series, n_jobs=3)
+        assert result_par.rounds == result_seq.rounds
+        assert_state_equal(parallel.to_state(), sequential.to_state())
+
+    def test_parallel_warm_up_identical(self):
+        history = make_series(seed=7)
+        sequential = CAD(make_config(), history.n_sensors)
+        parallel = CAD(make_config(), history.n_sensors)
+        assert sequential.warm_up(history) == parallel.warm_up(history, n_jobs=4)
+        assert_state_equal(parallel.to_state(), sequential.to_state())
+
+    def test_degraded_data_identical(self):
+        series = make_series(seed=9, missing_rate=0.02)
+        config = make_config(allow_missing=True)
+        sequential = CAD(config, series.n_sensors)
+        parallel = CAD(config, series.n_sensors)
+        result_seq = sequential.detect(series)
+        result_par = parallel.detect(series, n_jobs=4)
+        assert result_par.rounds == result_seq.rounds
+        assert any(r.quality is not None and r.quality.degraded for r in result_seq.rounds)
+        assert_state_equal(parallel.to_state(), sequential.to_state())
+
+    def test_config_n_jobs_is_used_by_default(self):
+        series = make_series(seed=10, length=900)
+        via_config = CAD(make_config(n_jobs=2), series.n_sensors)
+        sequential = CAD(make_config(), series.n_sensors)
+        assert via_config.detect(series).rounds == sequential.detect(series).rounds
+
+    def test_reference_engine_parallel_identical(self):
+        series = make_series(seed=11, length=900)
+        config = make_config(engine="reference")
+        sequential = CAD(config, series.n_sensors)
+        parallel = CAD(config, series.n_sensors)
+        assert (
+            parallel.detect(series, n_jobs=3).rounds
+            == sequential.detect(series).rounds
+        )
+
+
+class TestParallelAfterRestore:
+    def test_detect_after_state_round_trip(self):
+        history = MultivariateTimeSeries(make_series(seed=12).values[:, :300])
+        series = make_series(seed=13)
+        original = CAD(make_config(), series.n_sensors)
+        original.warm_up(history)
+        restored = CAD.from_state(original.to_state())
+        result_seq = original.detect(series)
+        result_par = restored.detect(series, n_jobs=4)
+        assert result_par.rounds == result_seq.rounds
+        assert result_par.anomalies == result_seq.anomalies
+
+    def test_streaming_checkpoint_then_parallel_batch(self, tmp_path):
+        # A stream checkpointed mid-run, restored, and continued in batch
+        # parallel mode must match the uninterrupted sequential stream.
+        series = make_series(seed=14)
+        split = 700
+        uninterrupted = StreamingCAD(make_config(), series.n_sensors)
+        records_a = uninterrupted.push_many(series.values)
+
+        stream = StreamingCAD(make_config(), series.n_sensors)
+        stream.push_many(series.values[:, :split])
+        path = tmp_path / "stream.npz"
+        stream.save(path)
+        resumed = StreamingCAD.load(path)
+        records_b = stream.push_many(series.values[:, split:])
+        records_c = resumed.push_many(series.values[:, split:])
+        assert records_c == records_b  # resume is bit-identical
+        assert records_c == records_a[-len(records_c) :]
