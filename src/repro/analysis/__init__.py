@@ -1,0 +1,62 @@
+"""repro.analysis — determinism & numerical-safety linter for this repo.
+
+An AST-based static-analysis layer (stdlib only) that encodes CAD's
+correctness invariants as executable rules:
+
+========  ==========================================================
+Rule      Protects
+========  ==========================================================
+R1        deterministic iteration (no raw set iteration)
+R2        tolerance-based float comparison (no ``==`` on floats)
+R3        explicit seeded RNGs (no module-level random state)
+R4        pure round functions (no wall-clock in hot paths)
+R5        picklable, race-free process-pool dispatch
+R6        no mutable default arguments
+R7        no swallowed exceptions on checkpoint/streaming paths
+R8        NaN-aware reductions on degraded-mode-reachable arrays
+========  ==========================================================
+
+Run ``python -m repro.analysis src/repro tests benchmarks``; suppress a
+single finding with ``# repro: noqa[R1] <reason>``; grandfather existing
+findings in ``.repro-analysis-baseline.json`` (stale entries fail the run).
+See DESIGN.md, section "Enforced invariants", for the rule-by-rule mapping
+to the paper/PR guarantees.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BaselineEntry,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from .engine import (
+    AnalysisReport,
+    ParseFailure,
+    analyze_paths,
+    analyze_source,
+    collect_files,
+    parse_pragmas,
+)
+from .rules import ALL_RULES, RULES_BY_ID, FileContext, Rule, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "AnalysisReport",
+    "BaselineEntry",
+    "BaselineResult",
+    "FileContext",
+    "ParseFailure",
+    "Rule",
+    "Violation",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "collect_files",
+    "load_baseline",
+    "parse_pragmas",
+    "save_baseline",
+]

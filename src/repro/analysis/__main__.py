@@ -1,0 +1,154 @@
+"""CLI for the determinism & numerical-safety linter.
+
+Usage::
+
+    python -m repro.analysis src/repro tests benchmarks
+    python -m repro.analysis src/repro --format json
+    python -m repro.analysis src/repro --update-baseline   # grandfather
+    python -m repro.analysis --list-rules
+
+Exit codes: 0 clean, 1 findings (new violations, stale baseline entries or
+parse failures), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from .engine import analyze_paths
+from .rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST linter enforcing CAD's determinism and numerical-safety "
+            "invariants (rules R1-R8; see DESIGN.md 'Enforced invariants')."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="files or directories to lint (default: src/repro tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file for grandfathered findings "
+            f"(default: ./{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id, title and rationale, then exit",
+    )
+    return parser
+
+
+def _resolve_baseline_path(arg: str | None) -> Path | None:
+    if arg is not None:
+        return Path(arg)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.exists() else None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    targets = options.targets or ["src/repro", "tests", "benchmarks"]
+    missing = [t for t in targets if not Path(t).exists()]
+    if missing:
+        parser.error(f"no such file or directory: {', '.join(missing)}")
+
+    report = analyze_paths(targets)
+
+    baseline_path = (
+        Path(options.baseline)
+        if options.update_baseline and options.baseline is not None
+        else _resolve_baseline_path(options.baseline)
+    )
+    if options.update_baseline:
+        if baseline_path is None:
+            baseline_path = Path(DEFAULT_BASELINE_NAME)
+        save_baseline(baseline_path, report.violations)
+        print(
+            f"wrote {len(report.violations)} baseline entries to {baseline_path}"
+        )
+        return 0
+
+    entries = load_baseline(baseline_path) if baseline_path is not None else []
+    result = apply_baseline(report.violations, entries)
+
+    failed = bool(
+        result.new_violations or result.stale_entries or report.parse_failures
+    )
+
+    if options.format == "json":
+        payload = {
+            "checked_files": report.checked_files,
+            "violations": [v.to_json() for v in result.new_violations],
+            "grandfathered": [v.to_json() for v in result.grandfathered],
+            "stale_baseline_entries": [e.to_json() for e in result.stale_entries],
+            "parse_failures": [
+                {"path": f.path, "line": f.line, "message": f.message}
+                for f in report.parse_failures
+            ],
+            "suppressed": report.suppressed,
+            "ok": not failed,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
+
+    for failure in report.parse_failures:
+        print(failure.render())
+    for violation in result.new_violations:
+        print(violation.render())
+    for entry in result.stale_entries:
+        print(
+            f"{entry.path}: STALE baseline entry for {entry.rule} "
+            f"({entry.source!r} no longer matches a violation — remove it)"
+        )
+    summary = (
+        f"{report.checked_files} files checked, "
+        f"{len(result.new_violations)} violations, "
+        f"{len(result.grandfathered)} grandfathered, "
+        f"{len(result.stale_entries)} stale baseline entries, "
+        f"{report.suppressed} suppressed by pragma"
+    )
+    print(summary)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

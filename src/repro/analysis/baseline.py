@@ -1,0 +1,128 @@
+"""Baseline (grandfathering) support for :mod:`repro.analysis`.
+
+A baseline entry acknowledges one existing violation — identified by file,
+rule id and the *stripped source line* rather than a line number, so pure
+line shifts (imports added above, docstrings grown) do not invalidate it,
+while any edit to the offending line re-surfaces the finding.
+
+Two invariants keep the mechanism honest:
+
+* matching is multiset-based — three identical offending lines need three
+  entries, so fixing one cannot hide the other two; and
+* every entry must still match a live violation.  Entries that no longer do
+  are *stale*; the CLI fails on them so the baseline can only ever shrink
+  to match reality (CI's "no stale entries" self-test).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .rules import Violation
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, resolved relative to the working directory.
+DEFAULT_BASELINE_NAME = ".repro-analysis-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation."""
+
+    path: str
+    rule: str
+    source: str
+
+    def to_json(self) -> dict[str, str]:
+        return {"path": self.path, "rule": self.rule, "source": self.source}
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of filtering a run through the baseline."""
+
+    new_violations: tuple[Violation, ...]
+    grandfathered: tuple[Violation, ...]
+    stale_entries: tuple[BaselineEntry, ...]
+
+
+def _key(path: str, rule: str, source: str) -> tuple[str, str, str]:
+    return (path, rule, " ".join(source.split()))
+
+
+def entry_for(violation: Violation) -> BaselineEntry:
+    return BaselineEntry(
+        path=violation.path, rule=violation.rule, source=violation.source
+    )
+
+
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return []
+    data = json.loads(file_path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{file_path}: unsupported baseline format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    entries = []
+    for raw in data.get("entries", []):
+        entries.append(
+            BaselineEntry(
+                path=str(raw["path"]),
+                rule=str(raw["rule"]),
+                source=str(raw.get("source", "")),
+            )
+        )
+    return entries
+
+
+def save_baseline(path: str | Path, violations: Iterable[Violation]) -> None:
+    """Write the current findings as the new baseline (reviewed, committed)."""
+    entries = [entry_for(v).to_json() for v in sorted(violations)]
+    payload: dict[str, Any] = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered repro.analysis findings. Entries must keep "
+            "matching live violations; stale entries fail the lint run. "
+            "Shrink this file by fixing code, never grow it silently."
+        ),
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Sequence[BaselineEntry]
+) -> BaselineResult:
+    """Split findings into new vs grandfathered, and entries into live vs
+    stale, with multiset semantics."""
+    budget = Counter(_key(e.path, e.rule, e.source) for e in entries)
+    new: list[Violation] = []
+    grandfathered: list[Violation] = []
+    for violation in violations:
+        key = _key(violation.path, violation.rule, violation.source)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            grandfathered.append(violation)
+        else:
+            new.append(violation)
+    stale: list[BaselineEntry] = []
+    remaining = dict(budget)
+    for entry in entries:
+        key = _key(entry.path, entry.rule, entry.source)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            stale.append(entry)
+    return BaselineResult(
+        new_violations=tuple(new),
+        grandfathered=tuple(grandfathered),
+        stale_entries=tuple(stale),
+    )

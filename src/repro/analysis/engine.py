@@ -1,0 +1,146 @@
+"""File collection, pragma handling and rule execution for the linter.
+
+The engine is intentionally free of third-party dependencies: ``ast`` +
+``re`` over the files named on the command line.  Suppression is explicit
+and local — a ``# repro: noqa[R1]`` pragma on the offending line (optionally
+listing several rule ids, optionally followed by a justification) — and
+grandfathering lives in a reviewed baseline file, never in the code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .rules import ALL_RULES, FileContext, Rule, Violation
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[R1,R5] reason...``.
+_PRAGMA = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?")
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the linter could not parse; reported alongside violations."""
+
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:1: PARSE {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced, before baseline filtering."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    parse_failures: list[ParseFailure] = field(default_factory=list)
+    checked_files: int = 0
+
+
+def parse_pragmas(lines: Sequence[str]) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to suppressed rule ids (None = all rules)."""
+    pragmas: dict[int, frozenset[str] | None] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            pragmas[number] = None
+        else:
+            pragmas[number] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return pragmas
+
+
+def is_suppressed(
+    violation: Violation, pragmas: dict[int, frozenset[str] | None]
+) -> bool:
+    codes = pragmas.get(violation.line, frozenset())
+    if codes is None:
+        return True
+    return violation.rule in codes
+
+
+def collect_files(targets: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[Path, None] = {}
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIR_NAMES.intersection(candidate.parts):
+                    seen.setdefault(candidate, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+    return sorted(seen)
+
+
+def build_context(path: Path, source: str, relpath: str | None = None) -> FileContext:
+    """Parse one file into the context rules consume (raises SyntaxError)."""
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        relpath=relpath if relpath is not None else path.as_posix(),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+
+
+def analyze_source(
+    source: str, relpath: str, rules: Sequence[Rule] = ALL_RULES
+) -> list[Violation]:
+    """Lint one in-memory source blob (the unit-test entry point)."""
+    ctx = build_context(Path(relpath), source, relpath)
+    pragmas = parse_pragmas(ctx.lines)
+    found: list[Violation] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if not is_suppressed(violation, pragmas):
+                found.append(violation)
+    return sorted(found)
+
+
+def analyze_paths(
+    targets: Iterable[str | Path], rules: Sequence[Rule] = ALL_RULES
+) -> AnalysisReport:
+    """Lint every file under ``targets`` and aggregate the findings."""
+    report = AnalysisReport()
+    for path in collect_files(targets):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            report.parse_failures.append(
+                ParseFailure(path.as_posix(), 1, f"unreadable file: {error}")
+            )
+            continue
+        try:
+            ctx = build_context(path, source)
+        except SyntaxError as error:
+            report.parse_failures.append(
+                ParseFailure(path.as_posix(), error.lineno or 1, error.msg or "syntax error")
+            )
+            continue
+        report.checked_files += 1
+        pragmas = parse_pragmas(ctx.lines)
+        for rule in rules:
+            if not rule.applies(ctx):
+                continue
+            for violation in rule.check(ctx):
+                if is_suppressed(violation, pragmas):
+                    report.suppressed += 1
+                else:
+                    report.violations.append(violation)
+    report.violations.sort()
+    return report

@@ -1,0 +1,38 @@
+"""Rule registry for :mod:`repro.analysis`.
+
+``ALL_RULES`` is the ordered tuple the engine runs; ordering is part of the
+output contract (findings sort by path/line, ties by rule id).
+"""
+
+from __future__ import annotations
+
+from .base import FileContext, Rule, Violation
+from .defaults import MutableDefaultRule
+from .exceptions import SwallowedExceptionRule
+from .floats import FloatEqualityRule
+from .nandiscipline import NanDisciplineRule
+from .ordering import UnorderedIterationRule
+from .parallel_dispatch import ParallelDispatchRule
+from .randomness import ModuleRandomStateRule
+from .wallclock import WallClockRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    UnorderedIterationRule(),
+    FloatEqualityRule(),
+    ModuleRandomStateRule(),
+    WallClockRule(),
+    ParallelDispatchRule(),
+    MutableDefaultRule(),
+    SwallowedExceptionRule(),
+    NanDisciplineRule(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "FileContext",
+    "Rule",
+    "Violation",
+]

@@ -1,0 +1,64 @@
+"""R6 — no mutable default arguments.
+
+A ``def f(acc=[])`` default is evaluated once and shared across every call
+— accumulated state leaks between detector instances and between test
+cases, which reads as nondeterminism.  Default to ``None`` and materialise
+inside the function, or use an immutable default (tuple, frozenset).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, call_name
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "collections.deque",
+    "defaultdict",
+    "collections.defaultdict",
+    "OrderedDict",
+    "collections.OrderedDict",
+    "Counter",
+    "collections.Counter",
+}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "R6"
+    title = "mutable default argument"
+    rationale = (
+        "mutable defaults are shared across calls; state leaks between "
+        "detector instances and test cases"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"mutable default argument in {name}(); default to "
+                        "None (or an immutable value) and build inside the "
+                        "function",
+                    )

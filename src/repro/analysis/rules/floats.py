@@ -1,0 +1,73 @@
+"""R2 — no ``==`` / ``!=`` on float values outside tests.
+
+Exact float comparison is how rank ties, threshold crossings and
+convergence checks silently diverge between the fast and reference engines
+(different but equally valid summation orders land within 1 ulp of each
+other).  Production code must compare through the tolerance helpers in
+:mod:`repro.core.numeric` (``float_eq`` / ``arrays_close``) or restructure
+the comparison (``<=`` against a validated bound).
+
+The rule fires only when one operand is *provably* float-valued: a float
+literal, a call into a known float-returning function (``float``,
+``np.mean``, ...), an ``np.array(..., dtype=np.float64)`` constructor, or a
+local name only ever assigned such expressions.  Comparisons the AST cannot
+type are left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import (
+    FileContext,
+    Rule,
+    Violation,
+    infer_float_names,
+    is_float_expression,
+    iter_scopes,
+)
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "R2"
+    title = "exact float equality"
+    rationale = (
+        "float == / != is sensitive to summation order and platform; use "
+        "repro.core.numeric.float_eq / arrays_close or an inequality bound"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.in_tests or ctx.in_benchmarks)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for scope, body in iter_scopes(ctx.tree):
+            float_names = infer_float_names(body)
+            for node in _walk_scope(scope):
+                if not isinstance(node, ast.Compare):
+                    continue
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    if is_float_expression(left, float_names) or is_float_expression(
+                        right, float_names
+                    ):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "exact ==/!= on a float value; use "
+                            "repro.core.numeric.float_eq/arrays_close or an "
+                            "inequality with an explicit bound",
+                        )
+                        break
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    stack: list[ast.AST] = list(scope.body)  # type: ignore[attr-defined]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

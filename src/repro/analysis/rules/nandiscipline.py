@@ -1,0 +1,67 @@
+"""R8 — NaN discipline in degraded-mode-reachable reductions.
+
+With ``CADConfig(allow_missing=True)`` the window and correlation arrays
+legitimately carry NaN (missing readings, masked sensors).  A plain
+``np.sum``/``np.mean``/``np.std`` over such an array does not crash — it
+poisons the statistic and every moment downstream, so the 3-sigma test
+quietly stops firing.  In modules the degraded path can reach, reductions
+must either use the nan-aware variants (``np.nansum`` & co.), operate on an
+explicitly masked selection, or carry a ``# repro: noqa[R8]`` pragma whose
+comment states why the array is NaN-free by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, dotted_name
+
+_REDUCTIONS = {"sum", "mean", "std", "var", "average", "median", "percentile"}
+
+#: Modules the degraded-data path flows through.  Matched on posix path
+#: fragments under ``repro/``.
+_DEGRADED_REACHABLE = (
+    "timeseries/correlation",
+    "timeseries/rolling",
+    "timeseries/normalization",
+    "core/coappearance",
+    "core/pipeline",
+    "core/streaming",
+    "core/detector",
+    "core/variation",
+    "datasets/faults",
+)
+
+
+class NanDisciplineRule(Rule):
+    rule_id = "R8"
+    title = "NaN-unsafe reduction on a degraded-reachable path"
+    rationale = (
+        "allow_missing=True routes NaN through these arrays; a plain "
+        "np.sum/np.mean/np.std silently poisons mu/sigma and stops the "
+        "3-sigma test from firing"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        posix = ctx.posix
+        return any(f"repro/{frag}" in posix for frag in _DEGRADED_REACHABLE)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                continue
+            if parts[1] in _REDUCTIONS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{dotted}() on a degraded-mode-reachable array; use "
+                    f"np.nan{parts[1]} / an explicit mask, or justify "
+                    "NaN-freeness with `# repro: noqa[R8] <reason>`",
+                )

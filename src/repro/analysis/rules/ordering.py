@@ -1,0 +1,127 @@
+"""R1 — no unordered set iteration on determinism-critical paths.
+
+CAD's guarantees are bit-level: Theorem 1's 3-sigma test, the CSR-vs-dict
+Louvain label identity, and parallel/resumed-run reproducibility all assume
+every iteration order in the pipeline is a pure function of the input.
+Python sets iterate in hash order, which varies with insertion history (and
+with ``PYTHONHASHSEED`` for str keys) — one ``for v in some_set`` feeding a
+graph sweep or a dict construction silently breaks all three.  Iterate
+``sorted(...)`` or an ordered container instead; order-insensitive
+consumers (``len``, ``min``, ``max``, ``any``, ``all``, ``sorted`` itself,
+set/frozenset constructors) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import (
+    FileContext,
+    Rule,
+    Violation,
+    call_name,
+    infer_set_names,
+    is_set_expression,
+    iter_scopes,
+)
+
+#: Consuming an iterable through these callables is order-insensitive (or
+#: produces an explicit order), so a set argument is fine.  ``sum`` is
+#: listed even though float summation is order-sensitive — flagging it
+#: drowned the real signal; R8 owns numeric hygiene.
+_ORDER_INSENSITIVE_CALLS = {
+    "sorted",
+    "min",
+    "max",
+    "len",
+    "any",
+    "all",
+    "sum",
+    "set",
+    "frozenset",
+}
+
+#: These callables freeze their argument's iteration order into an ordered
+#: container, which is exactly the leak this rule exists to catch.
+_ORDER_PRESERVING_CALLS = {"list", "tuple", "enumerate", "dict.fromkeys"}
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "R1"
+    title = "unordered set iteration"
+    rationale = (
+        "set iteration order is not deterministic across runs; iterating it "
+        "into ordering-sensitive code breaks CAD's bit-identical guarantees"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.in_tests or ctx.in_benchmarks)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        exempt = _order_insensitive_genexps(ctx.tree)
+        for scope, body in iter_scopes(ctx.tree):
+            set_names = infer_set_names(body)
+            yield from self._check_scope(ctx, scope, set_names, exempt)
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        scope: ast.AST,
+        set_names: frozenset[str],
+        exempt: set[int],
+    ) -> Iterator[Violation]:
+        for node in _walk_scope(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_set_expression(node.iter, set_names):
+                    yield self.violation(
+                        ctx,
+                        node.iter,
+                        "iterating a set in a for-loop; wrap in sorted(...) "
+                        "to pin the order",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                if id(node) in exempt:
+                    continue
+                for comp in node.generators:
+                    if is_set_expression(comp.iter, set_names):
+                        yield self.violation(
+                            ctx,
+                            comp.iter,
+                            "comprehension over a set feeds an ordered result; "
+                            "iterate sorted(...) instead",
+                        )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in _ORDER_PRESERVING_CALLS and node.args:
+                    if is_set_expression(node.args[0], set_names):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"{name}(...) of a set captures an undefined order; "
+                            "use sorted(...) to pin it",
+                        )
+
+
+def _order_insensitive_genexps(tree: ast.Module) -> set[int]:
+    """ids of generator expressions fed straight into order-insensitive
+    consumers (``sorted(x for x in s)`` is fine)."""
+    exempt: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and call_name(node) in _ORDER_INSENSITIVE_CALLS:
+            for arg in node.args:
+                if isinstance(arg, ast.GeneratorExp):
+                    exempt.add(id(arg))
+    return exempt
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope's statements without descending into nested functions
+    (those are visited as their own scopes, with their own inferred names)."""
+    stack: list[ast.AST] = list(scope.body)  # type: ignore[attr-defined]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

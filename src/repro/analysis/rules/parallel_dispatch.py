@@ -1,0 +1,240 @@
+"""R5 — functions shipped to the process pool must be module-level and
+free of mutable shared state.
+
+:mod:`repro.core.parallel` fans stage-A chunks over a
+``ProcessPoolExecutor``.  Whatever lands in ``pool.submit(f, ...)`` /
+``pool.map(f, ...)`` is pickled by reference: a lambda or nested closure
+fails at runtime (and only when ``n_jobs > 1``, so tests at the default
+miss it), a bound method drags its whole ``self`` across the fork, and a
+module-level function that reads or writes a mutable module global races
+against other workers — each fork sees its own divergent copy, which is
+exactly the nondeterminism the refresh-aligned chunking was built to rule
+out.
+
+The check walks every submit/map dispatch site, resolves the dispatched
+callable within the module, and verifies it is a module-level ``def`` whose
+body neither declares ``global`` nor reads module-level names bound to
+mutable literals (list/dict/set).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, call_name, dotted_name
+
+_POOLISH_NAME_FRAGMENTS = ("pool", "executor", "workers")
+_POOL_CONSTRUCTORS = ("ProcessPoolExecutor", "ThreadPoolExecutor", "Pool")
+
+
+def _is_dispatch_call(node: ast.Call) -> bool:
+    """`<receiver>.submit(...)` always; `<receiver>.map(...)` only when the
+    receiver looks like an executor (name or constructor), so ordinary
+    ``df.map``/``str.map`` style calls stay out of scope."""
+    if not isinstance(node.func, ast.Attribute):
+        return False
+    attr = node.func.attr
+    receiver = node.func.value
+    if attr == "submit":
+        return True
+    if attr != "map":
+        return False
+    if isinstance(receiver, ast.Name):
+        lowered = receiver.id.lower()
+        return any(frag in lowered for frag in _POOLISH_NAME_FRAGMENTS)
+    if isinstance(receiver, ast.Call):
+        name = call_name(receiver) or ""
+        return name.split(".")[-1] in _POOL_CONSTRUCTORS
+    return False
+
+
+def _module_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _mutable_module_globals(tree: ast.Module) -> frozenset[str]:
+    """Module-level names bound to mutable literals (list/dict/set/...)."""
+    mutable: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        if isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ) or (
+            isinstance(value, ast.Call)
+            and call_name(value) in ("list", "dict", "set", "bytearray", "deque")
+        ):
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        mutable.add(sub.id)
+    return frozenset(mutable)
+
+
+def _local_bindings(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter and local-assignment names inside ``func`` (shadowing)."""
+    args = func.args
+    bound = {
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        bound.add(sub.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    bound.add(sub.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for sub in ast.walk(item.optional_vars):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+    return bound
+
+
+class ParallelDispatchRule(Rule):
+    rule_id = "R5"
+    title = "unpicklable or state-sharing pool dispatch"
+    rationale = (
+        "pool workers pickle the dispatched function by reference and fork "
+        "module state; lambdas/closures fail at n_jobs>1 and mutable "
+        "globals race across workers"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.in_tests or ctx.in_benchmarks)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        module_funcs = _module_functions(ctx.tree)
+        mutable_globals = _mutable_module_globals(ctx.tree)
+        nested_names = self._nested_function_names(ctx.tree)
+        checked: set[str] = set()
+
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _is_dispatch_call(node)):
+                continue
+            if not node.args:
+                continue
+            yield from self._check_target(
+                ctx,
+                node.args[0],
+                module_funcs,
+                mutable_globals,
+                nested_names,
+                checked,
+            )
+
+    def _check_target(
+        self,
+        ctx: FileContext,
+        target: ast.expr,
+        module_funcs: dict[str, ast.FunctionDef],
+        mutable_globals: frozenset[str],
+        nested_names: frozenset[str],
+        checked: set[str],
+    ) -> Iterator[Violation]:
+        if isinstance(target, ast.Lambda):
+            yield self.violation(
+                ctx,
+                target,
+                "lambda dispatched to a process pool cannot be pickled; "
+                "promote it to a module-level function",
+            )
+            return
+        if isinstance(target, ast.Call):
+            name = call_name(target)
+            if name in ("partial", "functools.partial") and target.args:
+                yield from self._check_target(
+                    ctx,
+                    target.args[0],
+                    module_funcs,
+                    mutable_globals,
+                    nested_names,
+                    checked,
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            root = dotted_name(target)
+            if root is not None and root.split(".")[0] in ("self", "cls"):
+                yield self.violation(
+                    ctx,
+                    target,
+                    f"{root} is a bound method; pool workers would pickle "
+                    "the whole instance — dispatch a module-level function "
+                    "taking explicit arguments",
+                )
+            return
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if name in nested_names and name not in module_funcs:
+            yield self.violation(
+                ctx,
+                target,
+                f"{name} is a nested function; closures cannot be pickled "
+                "for the pool — promote it to module level",
+            )
+            return
+        func = module_funcs.get(name)
+        if func is None or name in checked:
+            return
+        checked.add(name)
+        locals_bound = _local_bindings(func)
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Global):
+                yield self.violation(
+                    ctx,
+                    sub,
+                    f"worker function {name}() declares `global "
+                    f"{', '.join(sub.names)}`; worker processes fork their "
+                    "own copies, so the mutation races and diverges",
+                )
+            elif (
+                isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id in mutable_globals
+                and sub.id not in locals_bound
+            ):
+                yield self.violation(
+                    ctx,
+                    sub,
+                    f"worker function {name}() reads module-level mutable "
+                    f"state `{sub.id}`; pass it as an argument so each "
+                    "dispatch ships an explicit value",
+                )
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> frozenset[str]:
+        nested: set[str] = set()
+        for outer in ast.walk(tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(outer):
+                if (
+                    node is not outer
+                    and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ):
+                    nested.add(node.name)
+        return frozenset(nested)

@@ -1,0 +1,95 @@
+"""R3 — no module-level random state inside ``src/repro``.
+
+``random.*`` and the legacy ``np.random.<func>`` API draw from hidden
+module-global generators: two call sites interleave differently across
+refactors, process pools fork the state, and a seed set in one test leaks
+into the next.  Every stochastic component in this repo takes an explicitly
+seeded ``np.random.Generator`` (``np.random.default_rng(seed)``) as an
+argument instead — that is what makes the synthetic datasets, k-shape
+restarts and baseline detectors reproducible run over run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, dotted_name
+
+#: The explicit-seeding surface of ``np.random`` — everything else is the
+#: hidden-global legacy API.
+_ALLOWED_NP_RANDOM = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+class ModuleRandomStateRule(Rule):
+    rule_id = "R3"
+    title = "module-level random state"
+    rationale = (
+        "hidden global RNG state breaks reproducibility; pass a seeded "
+        "np.random.Generator (np.random.default_rng(seed)) explicitly"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return "repro/" in ctx.posix and not (ctx.in_tests or ctx.in_benchmarks)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "import of the stdlib `random` module (global "
+                            "state); use a seeded np.random.Generator",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "import from the stdlib `random` module (global "
+                        "state); use a seeded np.random.Generator",
+                    )
+                elif node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        target = alias.name
+                        if node.module == "numpy" and target != "random":
+                            continue
+                        if (
+                            node.module == "numpy.random"
+                            and target not in _ALLOWED_NP_RANDOM
+                        ):
+                            yield self.violation(
+                                ctx,
+                                node,
+                                f"`from numpy.random import {target}` exposes "
+                                "the hidden global generator; use "
+                                "np.random.default_rng(seed)",
+                            )
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                for prefix in ("np.random.", "numpy.random."):
+                    if dotted.startswith(prefix):
+                        member = dotted[len(prefix) :].split(".")[0]
+                        if member not in _ALLOWED_NP_RANDOM:
+                            yield self.violation(
+                                ctx,
+                                node,
+                                f"{dotted} uses numpy's hidden global "
+                                "generator; use a seeded "
+                                "np.random.Generator instead",
+                            )
+                        break

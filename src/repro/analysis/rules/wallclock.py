@@ -1,0 +1,60 @@
+"""R4 — no wall-clock reads in core/graph/timeseries hot paths.
+
+A detection round's output must be a pure function of the windows it has
+seen — that is what makes checkpoint/resume and the parallel offline path
+bit-identical, and what lets a failure be replayed offline from the same
+data.  ``time.time()`` / ``datetime.now()`` inside ``repro.core``,
+``repro.graph`` or ``repro.timeseries`` smuggles the host clock into that
+function.  Timing instrumentation belongs in ``repro.bench`` (which may use
+``time.perf_counter``); timestamps belong to the caller, passed in as data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, dotted_name
+
+#: Call targets that read the host clock.  Matched on the dotted suffix so
+#: both ``time.time()`` and ``datetime.datetime.now()`` forms are caught.
+_WALL_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+
+class WallClockRule(Rule):
+    rule_id = "R4"
+    title = "wall-clock read in a hot path"
+    rationale = (
+        "round output must be a pure function of the input windows; clock "
+        "reads break bit-identical resume/replay"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("core", "graph", "timeseries")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            for suffix in _WALL_CLOCK_SUFFIXES:
+                if dotted == suffix or dotted.endswith("." + suffix):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{dotted}() reads the wall clock inside a "
+                        "deterministic path; take time values as input or "
+                        "move timing to repro.bench",
+                    )
+                    break

@@ -82,9 +82,11 @@ def kshape(
         for c in range(k):
             members = normalised[labels == c]
             if members.shape[0] == 0:
+                # sorted(): set iteration order is undefined; keep the dict
+                # construction deterministic (R1).
                 per_label = {
                     label: sbd_to_reference(normalised, centroids[label])[0]
-                    for label in set(labels.tolist())
+                    for label in sorted(set(labels.tolist()))
                 }
                 distances = np.array(
                     [per_label[labels[i]][i] for i in range(n)]

@@ -29,6 +29,14 @@ from .streaming import StreamingCAD
 #: Version 2 added the fast engine's rolling-correlation kernel state.
 CHECKPOINT_VERSION = 2
 
+#: Versions :func:`load_checkpoint` can read.  Version-1 files (written
+#: before the fast engine existed) migrate on load: they carry no kernel
+#: state and no ``engine``/``corr_refresh``/``n_jobs`` config keys, and are
+#: pinned to ``engine="reference"`` — the only engine that existed when they
+#: were written — so a resumed stream replays the exact pipeline that
+#: produced the checkpoint.
+SUPPORTED_VERSIONS = (1, CHECKPOINT_VERSION)
+
 _FORMAT = "repro-streaming-cad"
 
 
@@ -113,11 +121,19 @@ def load_checkpoint(path: str | Path) -> StreamingCAD:
             raise ValueError(
                 f"{path}: not a StreamingCAD checkpoint (format {meta.get('format')!r})"
             )
-        if meta.get("version") != CHECKPOINT_VERSION:
+        version = meta.get("version")
+        if version not in SUPPORTED_VERSIONS:
             raise ValueError(
-                f"{path}: unsupported checkpoint version {meta.get('version')!r} "
-                f"(this build reads version {CHECKPOINT_VERSION})"
+                f"{path}: unsupported checkpoint version {version!r} "
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
+        config = dict(meta["config"])
+        if version == 1:
+            # v1 -> v2 migration: the reference engine was the only engine,
+            # and the newer config knobs did not exist yet.
+            config.setdefault("engine", "reference")
+            config.setdefault("corr_refresh", 1)
+            config.setdefault("n_jobs", 1)
 
         mean, m2 = (float(v) for v in archive["moment_values"])
         history_len = int(meta["tracker_history_len"])
@@ -147,7 +163,7 @@ def load_checkpoint(path: str | Path) -> StreamingCAD:
                 )
         state = {
             "detector": {
-                "config": meta["config"],
+                "config": config,
                 "n_sensors": meta["n_sensors"],
                 "rounds_processed": meta["rounds_processed"],
                 "previous_outliers": meta["previous_outliers"],

@@ -15,6 +15,7 @@ exponentially decayed and a sliding-window RC (ablation hooks; DESIGN.md §5).
 from __future__ import annotations
 
 from collections import deque
+from typing import Any
 
 import numpy as np
 
@@ -62,7 +63,7 @@ class CoAppearanceTracker:
         mode: str = "running",
         decay: float = 0.95,
         window: int = 50,
-    ):
+    ) -> None:
         if n_sensors < 2:
             raise ValueError("co-appearance needs at least 2 sensors")
         if mode not in ("running", "decay", "window"):
@@ -166,7 +167,9 @@ class CoAppearanceTracker:
             rc = self._sum / (self._decay_weight * (self._n - 1))
         else:  # window
             self._history.append(s_r)
-            rc = np.mean(self._history, axis=0) / (self._n - 1)
+            # History rows are NaN-free by construction: masked sensors' S_r
+            # is imputed above, never stored as NaN.
+            rc = np.mean(self._history, axis=0) / (self._n - 1)  # repro: noqa[R8] imputed, NaN-free history
         self._last_rc = rc
         return s_r, rc
 
@@ -179,7 +182,7 @@ class CoAppearanceTracker:
         self._history.clear()
         self._last_rc = None
 
-    def to_state(self) -> dict:
+    def to_state(self) -> dict[str, Any]:
         """Exact internal state, for checkpointing."""
         return {
             "n_sensors": self._n,
@@ -197,7 +200,7 @@ class CoAppearanceTracker:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "CoAppearanceTracker":
+    def from_state(cls, state: dict[str, Any]) -> "CoAppearanceTracker":
         """Rebuild from :meth:`to_state` output, bit-identically."""
         tracker = cls(
             int(state["n_sensors"]),

@@ -56,6 +56,7 @@ Collects every knob from the paper in one validated place:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 _RC_MODES = ("running", "decay", "window")
 
@@ -149,7 +150,7 @@ class CADConfig:
         return min(self.k, n_sensors - 1)
 
     @classmethod
-    def suggest(cls, length: int, n_sensors: int, **overrides) -> "CADConfig":
+    def suggest(cls, length: int, n_sensors: int, **overrides: Any) -> "CADConfig":
         """Paper-recommended defaults for a series of the given shape.
 
         Sets ``w = 0.02 |T|`` and ``s = 0.02 w`` (midpoints of the suggested

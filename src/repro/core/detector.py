@@ -15,7 +15,7 @@ read the returned :class:`RoundRecord`.
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Iterable
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -41,7 +41,7 @@ class CAD:
         TSGs share one vertex set across rounds.
     """
 
-    def __init__(self, config: CADConfig, n_sensors: int):
+    def __init__(self, config: CADConfig, n_sensors: int) -> None:
         if n_sensors < 2:
             raise ValueError("CAD needs at least 2 sensors")
         self.config = config
@@ -213,7 +213,9 @@ class CAD:
         """
         return self._record_from_stage(self._pipeline.process(window_values))
 
-    def _stage_results(self, series: MultivariateTimeSeries, n_jobs: int | None):
+    def _stage_results(
+        self, series: MultivariateTimeSeries, n_jobs: int | None
+    ) -> Iterator[RoundCommunity]:
         """Stage-A results for every window of ``series``, in round order."""
         if n_jobs is None:
             n_jobs = self.config.n_jobs
@@ -263,7 +265,7 @@ class CAD:
     # Checkpoint / restore
     # ----------------------------------------------------------------- #
 
-    def to_state(self) -> dict:
+    def to_state(self) -> dict[str, Any]:
         """Full detector state as plain scalars/arrays.
 
         Everything Algorithm 2 accumulates — the ``n_r`` moments, the
@@ -283,7 +285,7 @@ class CAD:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "CAD":
+    def from_state(cls, state: dict[str, Any]) -> "CAD":
         """Rebuild a detector from :meth:`to_state` output."""
         config = CADConfig(**state["config"])
         detector = cls(config, int(state["n_sensors"]))

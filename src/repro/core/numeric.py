@@ -1,0 +1,70 @@
+"""Tolerance-based float comparison helpers (lint rule R2's fix-path).
+
+Exact ``==`` on floats is how two mathematically identical computations —
+the fast engine's incremental sums and the reference engine's direct ones,
+or the same reduction under a different chunking — drift apart by an ulp
+and silently disagree.  Production code compares through these helpers
+instead; the default tolerances are tight enough to treat genuine value
+differences as different (CAD's scores live well above 1e-9 apart) while
+absorbing summation-order noise.
+
+Tests are exempt from R2 on purpose: asserting *bit-identical* output with
+``==`` is exactly how the parallel/resume/CSR guarantees are verified.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Relative tolerance: ~1e7 ulps at double precision, far below any
+#: meaningful score difference in this codebase.
+DEFAULT_REL_TOL = 1e-9
+
+#: Absolute floor for comparisons around zero (centered scores, residuals).
+DEFAULT_ABS_TOL = 1e-12
+
+
+def float_eq(
+    a: float,
+    b: float,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """Tolerance equality for two scalars; NaN equals nothing (like ``==``)."""
+    return math.isclose(float(a), float(b), rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def float_ne(
+    a: float,
+    b: float,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """Tolerance inequality: True when the values are meaningfully apart."""
+    return not float_eq(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_zero(value: float, abs_tol: float = DEFAULT_ABS_TOL) -> bool:
+    """True when ``value`` is zero up to the absolute tolerance."""
+    return abs(float(value)) <= abs_tol
+
+
+def arrays_close(
+    a: np.ndarray,
+    b: np.ndarray,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+    equal_nan: bool = False,
+) -> bool:
+    """Elementwise tolerance equality of two arrays (shape-strict).
+
+    ``equal_nan=True`` treats NaN as equal to NaN — the right semantics when
+    comparing degraded-mode windows where NaN *is* the data.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    return bool(np.allclose(a, b, rtol=rel_tol, atol=abs_tol, equal_nan=equal_nan))

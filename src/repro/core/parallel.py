@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -52,7 +52,7 @@ def resolve_jobs(n_jobs: int | None) -> int:
 def _stage_chunk(
     config: CADConfig,
     n_sensors: int,
-    kernel_state: dict | None,
+    kernel_state: dict[str, Any] | None,
     start_round: int,
     windows: list[np.ndarray],
     return_kernel: bool,
@@ -132,7 +132,7 @@ def iter_round_communities(
     bounds = _chunk_bounds(start_round, n_rounds, refresh, jobs)
     first_kernel_state = None if kernel is None else kernel.to_state()
 
-    last_kernel_state: dict | None = None
+    last_kernel_state: dict[str, Any] | None = None
     with ProcessPoolExecutor(max_workers=min(jobs, len(bounds))) as pool:
         futures = [
             pool.submit(

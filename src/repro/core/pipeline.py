@@ -28,6 +28,7 @@ The per-round work of Algorithm 1 splits cleanly in two:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -100,7 +101,7 @@ class CommunityPipeline:
     what lets :mod:`repro.core.parallel` run them in worker processes.
     """
 
-    def __init__(self, config: CADConfig, n_sensors: int):
+    def __init__(self, config: CADConfig, n_sensors: int) -> None:
         if n_sensors < 2:
             raise ValueError("CAD needs at least 2 sensors")
         self.config = config
@@ -192,13 +193,13 @@ class CommunityPipeline:
     # ------------------------------------------------------------------
     # checkpoint support
 
-    def to_state(self) -> dict:
+    def to_state(self) -> dict[str, Any]:
         """Kernel state (or None) — config/n_sensors ride with the detector."""
         return {
             "kernel": None if self._kernel is None else self._kernel.to_state(),
         }
 
-    def restore_state(self, state: dict | None) -> None:
+    def restore_state(self, state: dict[str, Any] | None) -> None:
         """Adopt a :meth:`to_state` snapshot (None leaves a fresh pipeline).
 
         A missing/None kernel entry on a fast-engine pipeline is legal —

@@ -118,7 +118,7 @@ class DetectionResult:
         spec: WindowSpec,
         length: int,
         n_sensors: int,
-    ):
+    ) -> None:
         self.anomalies = list(anomalies)
         self.rounds = list(rounds)
         self.spec = spec

@@ -21,7 +21,8 @@ restarted process resumes mid-stream without warm-up replay.
 
 from __future__ import annotations
 
-from typing import Iterable
+from pathlib import Path
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -45,7 +46,7 @@ class StreamingCAD:
         Width of each incoming sample.
     """
 
-    def __init__(self, config: CADConfig, n_sensors: int):
+    def __init__(self, config: CADConfig, n_sensors: int) -> None:
         self._detector = CAD(config, n_sensors)
         self._config = config
         self._n_sensors = n_sensors
@@ -132,7 +133,7 @@ class StreamingCAD:
     # Checkpoint / restore
     # ----------------------------------------------------------------- #
 
-    def to_state(self) -> dict:
+    def to_state(self) -> dict[str, Any]:
         """Full stream state as plain arrays/scalars (see ``checkpoint``)."""
         return {
             "detector": self._detector.to_state(),
@@ -142,7 +143,7 @@ class StreamingCAD:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "StreamingCAD":
+    def from_state(cls, state: dict[str, Any]) -> "StreamingCAD":
         """Rebuild a stream from :meth:`to_state` output, bit-identically."""
         detector = CAD.from_state(state["detector"])
         stream = cls(detector.config, detector.n_sensors)
@@ -158,14 +159,14 @@ class StreamingCAD:
         stream._end = buffer.shape[1]
         return stream
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Checkpoint the stream to ``path`` (an ``.npz`` file)."""
         from .checkpoint import save_checkpoint
 
         save_checkpoint(self, path)
 
     @classmethod
-    def load(cls, path) -> "StreamingCAD":
+    def load(cls, path: str | Path) -> "StreamingCAD":
         """Restore a stream checkpointed with :meth:`save`."""
         from .checkpoint import load_checkpoint
 

@@ -7,6 +7,8 @@ pruned away.  The signed correlation is kept as the edge weight.
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 import numpy as np
 
 from ..graph import Graph
@@ -53,7 +55,9 @@ def build_tsg(
     return graph
 
 
-def tsg_sequence(windows, k: int, tau: float):
+def tsg_sequence(
+    windows: Iterable[np.ndarray], k: int, tau: float
+) -> Iterator[Graph]:
     """Yield the TSG of each window in an iterable of ``(n, w)`` matrices."""
     for window_values in windows:
         yield build_tsg(window_values, k, tau)

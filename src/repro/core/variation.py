@@ -9,6 +9,8 @@ the symmetric difference of ``O_{r-1}`` and ``O_r``.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 
@@ -72,12 +74,12 @@ class RunningMoments:
         """Current ``(mean, std)`` pair."""
         return self.mean, self.std
 
-    def to_state(self) -> dict:
+    def to_state(self) -> dict[str, Any]:
         """Exact internal state, for checkpointing."""
         return {"count": self._count, "mean": self._mean, "m2": self._m2}
 
     @classmethod
-    def from_state(cls, state: dict) -> "RunningMoments":
+    def from_state(cls, state: dict[str, Any]) -> "RunningMoments":
         """Rebuild from :meth:`to_state` output, bit-identically."""
         moments = cls()
         moments._count = int(state["count"])

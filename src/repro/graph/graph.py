@@ -21,7 +21,7 @@ class Graph:
 
     __slots__ = ("_n", "_adj", "_n_edges", "_total_weight")
 
-    def __init__(self, n_vertices: int):
+    def __init__(self, n_vertices: int) -> None:
         if n_vertices < 1:
             raise ValueError(f"graph needs at least 1 vertex, got {n_vertices}")
         self._n = n_vertices

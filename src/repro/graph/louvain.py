@@ -55,7 +55,9 @@ class _Level:
 
     __slots__ = ("adj", "self_weight", "degree", "two_m")
 
-    def __init__(self, adj: list[Mapping[int, float]], self_weight: list[float]):
+    def __init__(
+        self, adj: list[Mapping[int, float]], self_weight: list[float]
+    ) -> None:
         self.adj = adj
         self.self_weight = self_weight
         self.degree = [

@@ -31,6 +31,8 @@ Numerical safety:
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from .correlation import pearson_matrix_masked
@@ -75,7 +77,7 @@ class RollingCorrelation:
         step: int,
         refresh_every: int = 64,
         min_overlap: int = 2,
-    ):
+    ) -> None:
         if n_sensors < 1:
             raise ValueError(f"need at least 1 sensor, got {n_sensors}")
         if window < 2:
@@ -264,7 +266,7 @@ class RollingCorrelation:
     # ------------------------------------------------------------------
     # checkpoint support
 
-    def to_state(self) -> dict:
+    def to_state(self) -> dict[str, Any]:
         """Serializable snapshot (plain floats / lists, no pickle needed)."""
         return {
             "n_sensors": self.n_sensors,
@@ -281,7 +283,7 @@ class RollingCorrelation:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "RollingCorrelation":
+    def from_state(cls, state: dict[str, Any]) -> "RollingCorrelation":
         kernel = cls(
             n_sensors=int(state["n_sensors"]),
             window=int(state["window"]),

@@ -1,0 +1,293 @@
+"""End-to-end tests for the repro.analysis CLI, baseline mechanics, and the
+acceptance scenario: deliberately breaking a determinism invariant in the
+real tree must fail the lint gate."""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, apply_baseline
+from repro.analysis.baseline import (
+    BaselineEntry,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import parse_pragmas
+from repro.analysis.rules import Violation
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CLEAN = "x = 1\n"
+DIRTY = "def f(acc=[]):\n    return acc\n"  # one R6 violation
+
+
+def run_cli(*args, cwd):
+    """Run ``python -m repro.analysis`` in ``cwd`` with src/ on the path."""
+    env_path = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A miniature project with one clean and one dirty file."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "clean.py").write_text(CLEAN)
+    (tmp_path / "pkg" / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, project):
+        result = run_cli("pkg/clean.py", cwd=project)
+        assert result.returncode == 0, result.stdout
+        assert "0 violations" in result.stdout
+
+    def test_violation_exits_one(self, project):
+        result = run_cli("pkg/dirty.py", cwd=project)
+        assert result.returncode == 1
+        assert "R6" in result.stdout
+
+    def test_missing_target_exits_two(self, project):
+        result = run_cli("no/such/dir", cwd=project)
+        assert result.returncode == 2
+
+    def test_syntax_error_is_reported_not_crashed(self, project):
+        (project / "pkg" / "broken.py").write_text("def f(:\n")
+        result = run_cli("pkg/broken.py", cwd=project)
+        assert result.returncode == 1
+        assert "broken.py" in result.stdout
+
+
+class TestTextOutput:
+    def test_violation_line_format(self, project):
+        result = run_cli("pkg/dirty.py", cwd=project)
+        # path:line:col: RULE message — clickable and grep-able
+        assert "pkg/dirty.py:1:" in result.stdout
+        assert "R6" in result.stdout
+
+    def test_summary_line(self, project):
+        result = run_cli("pkg", cwd=project)
+        assert "2 files checked" in result.stdout
+        assert "1 violations" in result.stdout
+
+
+class TestJsonOutput:
+    def test_json_payload(self, project):
+        result = run_cli("pkg", "--format", "json", cwd=project)
+        payload = json.loads(result.stdout)
+        assert payload["ok"] is False
+        assert payload["checked_files"] == 2
+        assert [v["rule"] for v in payload["violations"]] == ["R6"]
+        assert payload["violations"][0]["path"].endswith("dirty.py")
+
+    def test_json_clean(self, project):
+        result = run_cli("pkg/clean.py", "--format", "json", cwd=project)
+        payload = json.loads(result.stdout)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+
+
+class TestListRules:
+    def test_lists_all_eight(self, project):
+        result = run_cli("--list-rules", cwd=project)
+        assert result.returncode == 0
+        for rule_id in (f"R{i}" for i in range(1, 9)):
+            assert rule_id in result.stdout
+
+
+class TestBaselineCli:
+    def test_update_baseline_then_clean(self, project):
+        update = run_cli("pkg", "--update-baseline", cwd=project)
+        assert update.returncode == 0
+        baseline = project / ".repro-analysis-baseline.json"
+        assert baseline.exists()
+
+        result = run_cli("pkg", cwd=project)
+        assert result.returncode == 0, result.stdout
+        assert "1 grandfathered" in result.stdout
+
+    def test_fixed_violation_makes_entry_stale(self, project):
+        run_cli("pkg", "--update-baseline", cwd=project)
+        (project / "pkg" / "dirty.py").write_text(CLEAN)
+
+        result = run_cli("pkg", cwd=project)
+        assert result.returncode == 1
+        assert "STALE" in result.stdout
+
+    def test_baseline_survives_line_shift(self, project):
+        run_cli("pkg", "--update-baseline", cwd=project)
+        # Prepend lines: the violation moves but its source text does not.
+        (project / "pkg" / "dirty.py").write_text('"""doc"""\nimport os\n\n' + DIRTY)
+
+        result = run_cli("pkg", cwd=project)
+        assert result.returncode == 0, result.stdout
+        assert "1 grandfathered" in result.stdout
+
+    def test_new_violation_not_hidden_by_baseline(self, project):
+        run_cli("pkg", "--update-baseline", cwd=project)
+        (project / "pkg" / "fresh.py").write_text("def g(seen={1}):\n    return seen\n")
+
+        result = run_cli("pkg", cwd=project)
+        assert result.returncode == 1
+        assert "fresh.py" in result.stdout
+
+
+class TestBaselineSemantics:
+    def _violation(self, path="pkg/a.py", rule="R6", source="def f(a=[]):", line=1):
+        return Violation(
+            path=path, line=line, col=1, rule=rule, message="m", source=source
+        )
+
+    def test_multiset_matching(self):
+        # Two identical offending lines, one baseline entry: one stays new.
+        violations = [self._violation(line=1), self._violation(line=9)]
+        entries = [BaselineEntry(path="pkg/a.py", rule="R6", source="def f(a=[]):")]
+        result = apply_baseline(violations, entries)
+        assert len(result.grandfathered) == 1
+        assert len(result.new_violations) == 1
+        assert not result.stale_entries
+
+    def test_whitespace_normalised_matching(self):
+        # Indentation and run-of-spaces changes do not invalidate an entry.
+        violations = [self._violation(source="    def  f(a=[]):")]
+        entries = [BaselineEntry(path="pkg/a.py", rule="R6", source="def f(a=[]):")]
+        result = apply_baseline(violations, entries)
+        assert len(result.grandfathered) == 1
+
+    def test_stale_entry_detected(self):
+        entries = [BaselineEntry(path="pkg/gone.py", rule="R1", source="for x in s:")]
+        result = apply_baseline([], entries)
+        assert result.stale_entries == tuple(entries)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [self._violation()])
+        entries = load_baseline(path)
+        assert entries == [
+            BaselineEntry(path="pkg/a.py", rule="R6", source="def f(a=[]):")
+        ]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="unsupported baseline format"):
+            load_baseline(path)
+
+
+class TestPragmaParsing:
+    def test_parse_pragmas(self):
+        lines = [
+            "x = 1  # repro: noqa",
+            "y = 2  # repro: noqa[R1]",
+            "z = 3  # repro: noqa[R1, R2] reason text",
+            "w = 4",
+        ]
+        pragmas = parse_pragmas(lines)
+        assert pragmas[1] is None  # bare noqa: everything
+        assert pragmas[2] == frozenset({"R1"})
+        assert pragmas[3] == frozenset({"R1", "R2"})
+        assert 4 not in pragmas
+
+
+class TestRepoIsClean:
+    """The committed tree passes its own linter (acceptance criterion)."""
+
+    def test_repo_lints_clean(self):
+        report = analyze_paths(
+            [
+                str(REPO_ROOT / "src" / "repro"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+            ]
+        )
+        assert not report.parse_failures
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert not report.violations, f"lint violations in tree:\n{rendered}"
+
+
+class TestTypecheckGate:
+    """Strict mypy over the determinism-critical packages.  Skips where
+    mypy is not installed (it is a CI-only tool, not a runtime dep)."""
+
+    def test_mypy_strict_packages(self):
+        pytest.importorskip("mypy")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "mypy",
+                "--config-file",
+                "mypy.ini",
+                "src/repro/core",
+                "src/repro/graph",
+                "src/repro/timeseries",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout
+
+
+class TestAcceptanceBreakage:
+    """Deliberately breaking R1 in louvain.py or R5 in parallel.py must be
+    caught — this is what makes the CI lint job a real gate."""
+
+    def _copy_tree(self, tmp_path):
+        dest = tmp_path / "src" / "repro"
+        shutil.copytree(REPO_ROOT / "src" / "repro", dest)
+        return dest
+
+    def test_r1_break_in_louvain_is_flagged(self, tmp_path):
+        dest = self._copy_tree(tmp_path)
+        louvain = dest / "graph" / "louvain.py"
+        source = louvain.read_text()
+        # Inject an unordered iteration into the module: a set-driven loop.
+        source += (
+            "\n\ndef _broken_sweep(nodes):\n"
+            "    pending = set(nodes)\n"
+            "    order = []\n"
+            "    for node in pending:\n"
+            "        order.append(node)\n"
+            "    return order\n"
+        )
+        louvain.write_text(source)
+        report = analyze_paths([str(dest)])
+        hits = [
+            v
+            for v in report.violations
+            if v.rule == "R1" and v.path.endswith("louvain.py")
+        ]
+        assert hits, "R1 break in louvain.py was not flagged"
+
+    def test_r5_break_in_parallel_is_flagged(self, tmp_path):
+        dest = self._copy_tree(tmp_path)
+        parallel = dest / "core" / "parallel.py"
+        source = parallel.read_text()
+        # Dispatch a lambda through the pool: not picklable, not a
+        # module-level function.
+        source += (
+            "\n\ndef _broken_dispatch(pool, chunks):\n"
+            "    return [pool.submit(lambda c: c, chunk) for chunk in chunks]\n"
+        )
+        parallel.write_text(source)
+        report = analyze_paths([str(dest)])
+        hits = [
+            v
+            for v in report.violations
+            if v.rule == "R5" and v.path.endswith("parallel.py")
+        ]
+        assert hits, "R5 break in parallel.py was not flagged"

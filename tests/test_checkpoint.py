@@ -129,6 +129,99 @@ class TestCheckpointFile:
             load_checkpoint(path)
 
 
+def downgrade_to_v1(path):
+    """Rewrite a v2 checkpoint file into the v1 on-disk layout.
+
+    Version 1 predates the fast engine: no kernel arrays, no ``has_kernel``
+    flag, and a config without the ``engine``/``corr_refresh``/``n_jobs``
+    keys.  This reproduces exactly what a PR-1-era process wrote.
+    """
+    import json
+
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    meta = json.loads(str(arrays["meta"]))
+    meta["version"] = 1
+    meta.pop("has_kernel", None)
+    meta.pop("kernel", None)
+    for key in ("engine", "corr_refresh", "n_jobs"):
+        meta["config"].pop(key, None)
+    arrays = {
+        name: value
+        for name, value in arrays.items()
+        if not name.startswith("kernel_")
+    }
+    arrays["meta"] = np.array(json.dumps(meta))
+    np.savez(path, **arrays)
+
+
+class TestV1Migration:
+    """v1 -> v2 loading: old checkpoints keep resuming bit-identically."""
+
+    def _reference_config(self, toy_config):
+        from dataclasses import replace
+
+        return replace(toy_config, engine="reference", corr_refresh=1, n_jobs=1)
+
+    def test_v1_checkpoint_loads_and_resumes_bit_identically(
+        self, toy_config, toy_values, tmp_path
+    ):
+        config = self._reference_config(toy_config)
+        cut = 400
+        uninterrupted = StreamingCAD(config, 12)
+        expected = uninterrupted.push_many(toy_values[:, :900])
+
+        stream = StreamingCAD(config, 12)
+        records = stream.push_many(toy_values[:, :cut])
+        path = tmp_path / "v1.npz"
+        stream.save(path)
+        downgrade_to_v1(path)
+
+        resumed = StreamingCAD.load(path)
+        got = records + resumed.push_many(toy_values[:, cut:900])
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            assert a == b  # bit-identical resume across the format migration
+
+    def test_v1_config_pins_reference_engine(
+        self, toy_config, toy_values, tmp_path
+    ):
+        """A v1 file must restore the engine that wrote it, not today's
+        default — the reference path was the only engine back then."""
+        config = self._reference_config(toy_config)
+        stream = StreamingCAD(config, 12)
+        stream.push_many(toy_values[:, :200])
+        path = tmp_path / "v1.npz"
+        stream.save(path)
+        downgrade_to_v1(path)
+
+        restored = StreamingCAD.load(path)
+        assert restored.detector.config.engine == "reference"
+        assert restored.detector.config.corr_refresh == 1
+        assert restored.detector.config.n_jobs == 1
+        assert restored.detector.config == config
+
+    def test_v1_has_no_kernel_state(self, toy_config, toy_values, tmp_path):
+        config = self._reference_config(toy_config)
+        stream = StreamingCAD(config, 12)
+        stream.push_many(toy_values[:, :200])
+        path = tmp_path / "v1.npz"
+        stream.save(path)
+        downgrade_to_v1(path)
+        restored = StreamingCAD.load(path)
+        assert restored.detector._pipeline.kernel is None
+
+    def test_v2_files_still_load_after_migration_support(
+        self, toy_config, toy_values, tmp_path
+    ):
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, :200])
+        path = tmp_path / "v2.npz"
+        stream.save(path)
+        restored = StreamingCAD.load(path)
+        assert restored.detector.config == toy_config
+
+
 class TestComponentState:
     def test_running_moments_state(self):
         moments = RunningMoments()

@@ -27,11 +27,30 @@ class TestValidation:
             {"window": 10, "step": 2, "rc_window": 0},
             {"window": 10, "step": 2, "sensor_attribution": "bogus"},
             {"window": 10, "step": 2, "variation_sides": "bogus"},
+            {"window": 10, "step": 2, "engine": "turbo"},
+            {"window": 10, "step": 2, "corr_refresh": 0},
+            {"window": 10, "step": 2, "corr_refresh": -3},
+            {"window": 10, "step": 2, "n_jobs": 0},
+            {"window": 10, "step": 2, "n_jobs": -2},
         ],
     )
     def test_invalid(self, kwargs):
         with pytest.raises(ValueError):
             CADConfig(**kwargs)
+
+    def test_bad_engine_message_names_the_choices(self):
+        with pytest.raises(ValueError, match="engine must be 'fast' or 'reference'"):
+            CADConfig(window=10, step=2, engine="turbo")
+
+    def test_bad_n_jobs_message_explains_minus_one(self):
+        with pytest.raises(ValueError, match="n_jobs must be >= 1 or -1"):
+            CADConfig(window=10, step=2, n_jobs=0)
+        # -1 itself is the "all CPUs" sentinel and must stay valid.
+        assert CADConfig(window=10, step=2, n_jobs=-1).n_jobs == -1
+
+    def test_bad_corr_refresh_message(self):
+        with pytest.raises(ValueError, match="corr_refresh must be >= 1"):
+            CADConfig(window=10, step=2, corr_refresh=0)
 
     def test_frozen(self):
         config = CADConfig(window=100, step=10)
