@@ -15,6 +15,14 @@ Commands
     missing-at-random gaps to demo fault tolerance.
 ``compare --dataset NAME [--methods A,B,...]``
     Run several methods and print F1_PA / F1_DPA plus Ahead/Miss vs CAD.
+``run --dataset NAME [--supervised] [...]``
+    Stream a dataset sample-by-sample through ``StreamingCAD``.  With
+    ``--supervised`` the stream runs under the :mod:`repro.runtime`
+    supervisor — per-round watchdog (``--deadline``), bounded retries
+    (``--max-retries``), sensor circuit breakers (``--quarantine-after``),
+    rotated crash-safe checkpoints (``--checkpoint-every``,
+    ``--checkpoint-dir``) — and ends with a health report
+    (``--health-out`` writes it as JSON).
 """
 
 from __future__ import annotations
@@ -75,6 +83,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for offline detection (-1 = all CPUs); "
         "results are identical for any job count",
+    )
+
+    run = commands.add_parser(
+        "run", help="stream a dataset through StreamingCAD, optionally supervised"
+    )
+    run.add_argument("--dataset", required=True, choices=dataset_names())
+    run.add_argument(
+        "--supervised",
+        action="store_true",
+        help="wrap the stream in the repro.runtime supervisor",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="retry budget per round before giving up (supervised only)",
+    )
+    run.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-round watchdog deadline in seconds (supervised only)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        help="rounds between checkpoint generations; 0 disables (supervised only)",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for rotated checkpoints; resumes from it when non-empty",
+    )
+    run.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        help="consecutive faulty rounds before a sensor's breaker opens; "
+        "0 disables quarantining (supervised only)",
+    )
+    run.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="degraded-data mode: tolerate NaN readings",
+    )
+    run.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="corrupt the streamed feed with this missing-at-random rate "
+        "(implies --allow-missing)",
+    )
+    run.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the injected faults"
+    )
+    run.add_argument(
+        "--health-out",
+        default=None,
+        help="write the final HealthSnapshot as JSON to this path (supervised only)",
     )
 
     compare = commands.add_parser("compare", help="compare methods on a dataset")
@@ -163,6 +231,82 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    from .core import StreamingCAD
+    from .runtime import BreakerPolicy, RetryPolicy, StreamSupervisor, SupervisorConfig
+
+    if not 0.0 <= args.fault_rate < 1.0:
+        raise SystemExit(f"--fault-rate must be in [0, 1), got {args.fault_rate}")
+    if args.max_retries < 0:
+        raise SystemExit(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.quarantine_after < 0:
+        raise SystemExit(f"--quarantine-after must be >= 0, got {args.quarantine_after}")
+
+    data = load_dataset(args.dataset)
+    quarantining = args.supervised and args.quarantine_after > 0
+    allow_missing = args.allow_missing or args.fault_rate > 0.0 or quarantining
+    config = CADConfig.suggest(
+        data.test.length,
+        data.n_sensors,
+        k=data.recommended_k,
+        allow_missing=allow_missing,
+    )
+    test_values = data.test.values
+    if args.fault_rate > 0.0:
+        from .datasets import FaultModel
+
+        faults = FaultModel(missing_rate=args.fault_rate, seed=args.fault_seed)
+        test_values = faults.apply(test_values)
+        print(
+            f"injected missing-at-random faults at rate {args.fault_rate:.3f} "
+            f"(seed {args.fault_seed})"
+        )
+
+    if args.supervised:
+        supervisor = StreamSupervisor(
+            config,
+            data.n_sensors,
+            supervisor=SupervisorConfig(
+                retry=RetryPolicy(max_retries=args.max_retries),
+                breaker=BreakerPolicy(failure_threshold=args.quarantine_after),
+                round_deadline=args.deadline,
+                checkpoint_every=args.checkpoint_every,
+            ),
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        supervisor.warm_up(data.history)
+        records = supervisor.process_many(test_values)
+        health = supervisor.health()
+    else:
+        stream = StreamingCAD(config, data.n_sensors)
+        stream.warm_up(data.history)
+        records = stream.push_many(test_values)
+        health = None
+
+    abnormal = sum(1 for record in records if record.abnormal)
+    mode = "supervised" if args.supervised else "unsupervised"
+    print(
+        f"streamed {args.dataset} ({mode}): {len(records)} rounds, "
+        f"{abnormal} abnormal"
+    )
+    if health is not None:
+        status = "healthy" if health.healthy else "DEGRADED"
+        print(
+            f"health: {status} | retries {health.retries} | "
+            f"slow {health.slow_rounds} | crashes {health.crashes_recovered} | "
+            f"checkpoints {health.checkpoints_written} | "
+            f"quarantined {list(health.open_breakers)} | "
+            f"probation {list(health.half_open_breakers)} | "
+            f"shed {health.samples_shed}"
+        )
+        if args.health_out is not None:
+            with open(args.health_out, "w", encoding="utf-8") as handle:
+                handle.write(health.to_json())
+                handle.write("\n")
+            print(f"wrote health snapshot to {args.health_out}")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     data = load_dataset(args.dataset)
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
@@ -197,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_generate(args)
     if args.command == "detect":
         return cmd_detect(args)
+    if args.command == "run":
+        return cmd_run(args)
     if args.command == "compare":
         return cmd_compare(args)
     raise AssertionError(f"unhandled command {args.command!r}")

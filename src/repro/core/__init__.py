@@ -1,6 +1,11 @@
 """CAD core: TSGs, co-appearance mining, variation analysis, the detector."""
 
-from .checkpoint import CHECKPOINT_VERSION, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .config import CADConfig
 from .coappearance import CoAppearanceTracker, coappearance_counts
 from .detector import CAD, assemble_anomalies, detect_anomalies
@@ -9,7 +14,7 @@ from .pipeline import CommunityPipeline, RoundCommunity
 from .postprocess import consolidate, drop_short, merge_nearby
 from .result import Anomaly, DataQuality, DetectionResult, RoundRecord
 from .rootcause import SensorCause, propagation_order, rank_root_causes
-from .streaming import StreamingCAD
+from .streaming import PushError, StreamingCAD
 from .tsg import build_tsg, tsg_sequence
 from .variation import RunningMoments, outlier_set, outlier_variations
 
@@ -25,6 +30,8 @@ __all__ = [
     "RoundRecord",
     "save_checkpoint",
     "load_checkpoint",
+    "CheckpointError",
+    "PushError",
     "CHECKPOINT_VERSION",
     "build_tsg",
     "tsg_sequence",

@@ -19,11 +19,34 @@ checkpoint is safe to load from untrusted storage.
 from __future__ import annotations
 
 import json
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from .streaming import StreamingCAD
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file could not be read back as a valid stream state.
+
+    Raised by :func:`load_checkpoint` for *every* failure mode — a missing
+    or unreadable file, a truncated/corrupt ``.npz`` archive, a foreign
+    file, an unsupported version, or an archive missing required entries —
+    so callers (notably the runtime supervisor's recovery scan, which falls
+    back past corrupt generations) can catch one narrow type instead of
+    ``zipfile``/``KeyError``/``OSError`` leakage.  ``path`` names the
+    offending file.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught the
+    old untyped errors keep working.
+    """
+
+    def __init__(self, path: str | Path, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
 
 #: Bump when the checkpoint layout changes; loaders reject unknown versions.
 #: Version 2 added the fast engine's rolling-correlation kernel state.
@@ -41,7 +64,14 @@ _FORMAT = "repro-streaming-cad"
 
 
 def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
-    """Write ``stream``'s full state to ``path`` as an ``.npz`` archive."""
+    """Write ``stream``'s full state to ``path`` as an ``.npz`` archive.
+
+    The write is *atomic*: the archive is staged to a ``<path>.tmp`` sibling,
+    flushed and fsynced, then moved into place with :func:`os.replace`.  A
+    crash mid-write can therefore never leave a truncated archive at
+    ``path`` — the worst case is a stale ``.tmp`` file next to the intact
+    previous checkpoint.
+    """
     state = stream.to_state()
     detector = state["detector"]
     tracker = detector["tracker"]
@@ -108,24 +138,77 @@ def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
         for name in meta["kernel"]["arrays"]:
             arrays[f"kernel_{name}"] = np.asarray(kernel[name], dtype=np.float64)
 
-    np.savez(path, **arrays)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # Never leave the staging file behind on a failed write; the
+        # exception itself still propagates (R7: no swallowed state errors).
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss.
+
+    Best-effort: some filesystems (and non-POSIX platforms) refuse to open
+    directories; the data fsync above already ran, so failure here only
+    weakens crash durability of the *rename*, not file integrity.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        return
+    finally:
+        os.close(fd)
 
 
 def load_checkpoint(path: str | Path) -> StreamingCAD:
-    """Rebuild a :class:`StreamingCAD` from a :func:`save_checkpoint` file."""
+    """Rebuild a :class:`StreamingCAD` from a :func:`save_checkpoint` file.
+
+    Every failure mode — unreadable file, truncated or corrupt archive,
+    missing entries, malformed metadata, unsupported version — surfaces as
+    one typed :class:`CheckpointError` naming the offending path, so
+    recovery code can scan checkpoint generations without special-casing
+    ``zipfile``/``KeyError``/``OSError`` internals.
+    """
+    try:
+        return _read_checkpoint(path)
+    except CheckpointError:
+        raise
+    except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        # np.load raises BadZipFile/OSError/EOFError on truncation, KeyError
+        # on missing archive members, ValueError/JSONDecodeError on mangled
+        # metadata; from_state raises ValueError on shape mismatches.
+        raise CheckpointError(path, f"corrupt or invalid checkpoint ({exc})") from exc
+
+
+def _read_checkpoint(path: str | Path) -> StreamingCAD:
     with np.load(path, allow_pickle=False) as archive:
         if "meta" not in archive:
-            raise ValueError(f"{path}: not a StreamingCAD checkpoint (no meta entry)")
+            raise CheckpointError(path, "not a StreamingCAD checkpoint (no meta entry)")
         meta = json.loads(str(archive["meta"]))
         if meta.get("format") != _FORMAT:
-            raise ValueError(
-                f"{path}: not a StreamingCAD checkpoint (format {meta.get('format')!r})"
+            raise CheckpointError(
+                path,
+                f"not a StreamingCAD checkpoint (format {meta.get('format')!r})",
             )
         version = meta.get("version")
         if version not in SUPPORTED_VERSIONS:
-            raise ValueError(
-                f"{path}: unsupported checkpoint version {version!r} "
-                f"(this build reads versions {SUPPORTED_VERSIONS})"
+            raise CheckpointError(
+                path,
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads versions {SUPPORTED_VERSIONS})",
             )
         config = dict(meta["config"])
         if version == 1:
@@ -140,7 +223,7 @@ def load_checkpoint(path: str | Path) -> StreamingCAD:
         if history_len:
             history = [row.copy() for row in archive["tracker_history"]]
             if len(history) != history_len:
-                raise ValueError(f"{path}: truncated tracker history")
+                raise CheckpointError(path, "truncated tracker history")
         else:
             history = []
         kernel_state = None

@@ -32,6 +32,25 @@ from .detector import CAD
 from .result import RoundRecord
 
 
+class PushError(ValueError):
+    """A :meth:`StreamingCAD.push_many` batch failed part-way through.
+
+    ``index`` is the 0-based column of the batch whose push raised, and
+    ``records`` holds the round records the earlier columns already
+    produced — together they let a supervisor retry from the exact sample
+    offset instead of replaying (or worse, double-feeding) the whole batch.
+    The original exception rides on ``__cause__``.
+
+    Subclasses :class:`ValueError` so callers catching the pre-existing
+    validation errors keep working.
+    """
+
+    def __init__(self, index: int, records: list[RoundRecord], cause: BaseException) -> None:
+        super().__init__(f"push_many failed at batch column {index}: {cause}")
+        self.index = index
+        self.records = records
+
+
 class StreamingCAD:
     """Push-based CAD: feed samples, receive round records.
 
@@ -64,6 +83,16 @@ class StreamingCAD:
     @property
     def samples_seen(self) -> int:
         return self._samples_seen
+
+    @property
+    def next_round_end(self) -> int:
+        """Sample count at which the next round will complete.
+
+        The push bringing ``samples_seen`` up to this value returns a
+        :class:`RoundRecord`; supervisors use it to know, *before* pushing,
+        whether a sample closes a round (deadline accounting, chaos hooks).
+        """
+        return self._next_round_end
 
     def warm_up(self, history: MultivariateTimeSeries) -> None:
         """Seed statistics from a historical segment before streaming."""
@@ -109,15 +138,23 @@ class StreamingCAD:
         return record
 
     def push_many(self, samples: np.ndarray) -> list[RoundRecord]:
-        """Feed an ``(n_sensors, t)`` block of samples; return all records."""
+        """Feed an ``(n_sensors, t)`` block of samples; return all records.
+
+        A mid-batch failure raises :class:`PushError` carrying the failing
+        column index and the records produced so far, so the caller can
+        resume from the exact offset after fixing or retrying the sample.
+        """
         samples = np.asarray(samples, dtype=np.float64)
         if samples.ndim != 2 or samples.shape[0] != self._n_sensors:
             raise ValueError(
                 f"expected ({self._n_sensors}, t) block, got shape {samples.shape}"
             )
-        records = []
-        for column in samples.T:
-            record = self.push(column)
+        records: list[RoundRecord] = []
+        for index, column in enumerate(samples.T):
+            try:
+                record = self.push(column)
+            except Exception as exc:
+                raise PushError(index, records, exc) from exc
             if record is not None:
                 records.append(record)
         return records

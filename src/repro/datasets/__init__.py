@@ -6,6 +6,7 @@ from .faults import (
     inject_duplicates,
     inject_missing_at_random,
     inject_sensor_dropout,
+    inject_sensor_flapping,
     inject_stuck_at,
 )
 from .generator import GeneratedSeries, NetworkConfig, SensorNetworkSimulator
@@ -31,6 +32,7 @@ __all__ = [
     "inject_sensor_dropout",
     "inject_stuck_at",
     "inject_duplicates",
+    "inject_sensor_flapping",
     "NetworkConfig",
     "SensorNetworkSimulator",
     "GeneratedSeries",

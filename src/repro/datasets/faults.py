@@ -34,6 +34,7 @@ __all__ = [
     "inject_sensor_dropout",
     "inject_stuck_at",
     "inject_duplicates",
+    "inject_sensor_flapping",
 ]
 
 
@@ -109,6 +110,35 @@ def inject_duplicates(
     return values
 
 
+def inject_sensor_flapping(
+    values: np.ndarray,
+    sensor: int,
+    start: int,
+    stop: int,
+    period: int,
+    duty: float = 0.5,
+) -> np.ndarray:
+    """Flap one sensor over ``[start, stop)``: a NaN square wave.
+
+    Within the span, each cycle of ``period`` samples begins with
+    ``round(duty * period)`` dead (NaN) readings followed by live ones —
+    the loose-connector failure mode that repeatedly trips and clears.
+    Unlike :func:`inject_sensor_dropout` the sensor keeps *partially*
+    reporting, which is exactly what exercises circuit-breaker hysteresis:
+    a breaker without probation would flap along with the sensor.
+    """
+    values = _as_matrix(values)
+    _check_span(values, sensor, start, stop)
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    if not 0.0 < duty <= 1.0:
+        raise ValueError(f"duty must be in (0, 1], got {duty}")
+    dead = max(1, round(duty * period))
+    phase = (np.arange(stop - start)) % period
+    values[sensor, start:stop][phase < dead] = np.nan
+    return values
+
+
 @dataclass(frozen=True)
 class FaultModel:
     """A reproducible corruption scenario for one ``(n, T)`` stream.
@@ -123,19 +153,23 @@ class FaultModel:
         ``(sensor, start, stop)`` spans silenced entirely (NaN).
     stuck:
         ``(sensor, start, stop)`` spans flatlined at the span's first value.
+    flapping:
+        ``(sensor, start, stop, period, duty)`` spans turned into a NaN
+        square wave (see :func:`inject_sensor_flapping`).
     seed:
         Seed of the private RNG; the same model applied to the same values
         always yields the same corruption.
 
-    Faults compound in a fixed order — duplicates, stuck-at, dropout, then
-    missing-at-random — so value-level faults act on real readings before
-    gaps erase them.
+    Faults compound in a fixed order — duplicates, stuck-at, flapping,
+    dropout, then missing-at-random — so value-level faults act on real
+    readings before gaps erase them.
     """
 
     missing_rate: float = 0.0
     duplicate_rate: float = 0.0
     dropout: tuple[tuple[int, int, int], ...] = field(default=())
     stuck: tuple[tuple[int, int, int], ...] = field(default=())
+    flapping: tuple[tuple[int, int, int, int, float], ...] = field(default=())
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -149,6 +183,11 @@ class FaultModel:
             for span in spans:
                 if len(span) != 3:
                     raise ValueError(f"{label} spans must be (sensor, start, stop) triples")
+        for flap in self.flapping:
+            if len(flap) != 5:
+                raise ValueError(
+                    "flapping spans must be (sensor, start, stop, period, duty) tuples"
+                )
 
     @property
     def is_clean(self) -> bool:
@@ -160,6 +199,7 @@ class FaultModel:
             and self.duplicate_rate <= 0.0
             and not self.dropout
             and not self.stuck
+            and not self.flapping
         )
 
     def apply(self, values: np.ndarray) -> np.ndarray:
@@ -173,6 +213,8 @@ class FaultModel:
         values = inject_duplicates(values, self.duplicate_rate, rng)
         for sensor, start, stop in self.stuck:
             values = inject_stuck_at(values, sensor, start, stop)
+        for sensor, start, stop, period, duty in self.flapping:
+            values = inject_sensor_flapping(values, sensor, start, stop, period, duty)
         for sensor, start, stop in self.dropout:
             values = inject_sensor_dropout(values, sensor, start, stop)
         return inject_missing_at_random(values, self.missing_rate, rng)

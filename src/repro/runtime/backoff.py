@@ -1,0 +1,80 @@
+"""Deterministic seeded exponential backoff with jitter.
+
+Classic exponential backoff draws its jitter from an ambient RNG, which
+makes retry timing — and therefore everything downstream of the ingest
+queue — irreproducible.  :class:`RetryPolicy` instead derives each delay
+from ``(seed, round_index, attempt)`` alone: the same failure at the same
+round always waits the same time, across processes and across resumes,
+while different rounds still de-synchronise (the point of jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff + jitter.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries allowed per round *after* the first attempt; 0 disables
+        retrying entirely.
+    base_delay:
+        Delay of attempt 0 in seconds (before jitter).
+    multiplier:
+        Exponential growth factor per attempt.
+    max_delay:
+        Cap on the un-jittered delay.
+    jitter:
+        Jitter amplitude as a fraction of the delay: the drawn delay lies
+        in ``[delay, delay * (1 + jitter)]``.  0 disables jitter.
+    seed:
+        Root of the per-``(round, attempt)`` jitter derivation.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0.0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.seed < 0:
+            # np.random.SeedSequence entropy must be non-negative.
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+
+    def delay(self, round_index: int, attempt: int) -> float:
+        """Backoff before retrying ``round_index`` after failed ``attempt``.
+
+        Pure function of ``(seed, round_index, attempt)`` — no call-history
+        dependence, so a resumed process retries on the same schedule the
+        crashed one would have.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        rng = np.random.default_rng([self.seed, round_index, attempt])
+        return raw * (1.0 + self.jitter * float(rng.random()))

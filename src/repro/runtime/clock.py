@@ -1,0 +1,72 @@
+"""Injectable time source for the supervisor.
+
+The detector itself is clock-free (lint rule R4 bans wall-clock reads in
+``repro.core``); only the *supervisor* needs to measure round durations and
+sleep between retries.  It does both through a :class:`Clock` so that
+
+* production uses :class:`MonotonicClock` (``time.monotonic`` +
+  ``time.sleep``), and
+* tests and the chaos/soak harness use :class:`VirtualClock`, where time
+  advances only when code sleeps or calls :meth:`VirtualClock.advance` —
+  making watchdog timeouts, backoff waits and ingest-queue backpressure
+  fully deterministic and instantaneous to simulate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "MonotonicClock", "VirtualClock"]
+
+
+class Clock(Protocol):
+    """Minimal time interface the supervisor needs."""
+
+    def monotonic(self) -> float:
+        """Seconds from an arbitrary, monotonically increasing origin."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (virtually or in real time)."""
+        ...
+
+
+class MonotonicClock:
+    """Real time: ``time.monotonic`` / ``time.sleep``."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0.0:
+            time.sleep(seconds)
+
+
+class VirtualClock:
+    """Deterministic simulated time for tests and the soak harness.
+
+    ``sleep`` advances the clock instead of blocking, and ``advance`` lets
+    a harness model external elapsed time (e.g. an injected slow round).
+    ``slept`` accumulates only the time spent in :meth:`sleep`, so tests
+    can assert exactly how much backoff delay the supervisor paid.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.slept = 0.0
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError(f"cannot sleep a negative duration ({seconds})")
+        self._now += seconds
+        self.slept += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without counting it as supervisor sleep."""
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        self._now += seconds

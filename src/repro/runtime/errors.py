@@ -1,0 +1,117 @@
+"""Structured error taxonomy of the streaming runtime.
+
+Every failure the supervisor handles (or gives up on) is typed, so policy
+code switches on exception class instead of string-matching messages:
+
+``SupervisorError``
+    Base of everything raised by :mod:`repro.runtime`.
+``TransientRoundError``
+    A round failed in a way worth retrying (the supervisor restores the
+    last valid checkpoint, replays, backs off and re-attempts).  Subtypes:
+    ``RoundTimeoutError`` (watchdog deadline exceeded) and
+    ``RoundCrashError`` (the round died mid-flight — in production an
+    abrupt process exit, in the chaos harness an injected crash).
+``RetryBudgetExceededError``
+    A round kept failing past ``RetryPolicy.max_retries``; the stream
+    cannot make progress and the failure is surfaced to the operator.
+``RecoveryError``
+    Crash recovery itself failed: no valid checkpoint generation survived
+    *and* the in-memory replay buffer cannot cover the gap.
+``QueueOverflowError``
+    The bounded ingest queue overflowed under the ``"error"`` shedding
+    policy (the explicit-backpressure mode; the drop policies shed instead).
+
+:class:`~repro.core.checkpoint.CheckpointError` (corrupt/unreadable
+checkpoint file) and :class:`~repro.core.streaming.PushError` (mid-batch
+push failure with the exact offset) are re-exported here so runtime callers
+import the full taxonomy from one place.
+"""
+
+from __future__ import annotations
+
+from ..core.checkpoint import CheckpointError
+from ..core.streaming import PushError
+
+__all__ = [
+    "SupervisorError",
+    "TransientRoundError",
+    "RoundTimeoutError",
+    "RoundCrashError",
+    "RetryBudgetExceededError",
+    "RecoveryError",
+    "QueueOverflowError",
+    "CheckpointError",
+    "PushError",
+]
+
+
+class SupervisorError(Exception):
+    """Base class for every error raised by the streaming runtime."""
+
+
+class TransientRoundError(SupervisorError):
+    """A round failed in a retryable way.
+
+    Attributes
+    ----------
+    round_index:
+        Global index of the round that failed (detector numbering, i.e.
+        warm-up rounds included).
+    attempt:
+        0-based attempt at which the failure happened.
+    """
+
+    def __init__(self, round_index: int, attempt: int, reason: str) -> None:
+        super().__init__(f"round {round_index} (attempt {attempt}): {reason}")
+        self.round_index = round_index
+        self.attempt = attempt
+        self.reason = reason
+
+
+class RoundTimeoutError(TransientRoundError):
+    """The watchdog deadline elapsed before the round completed."""
+
+    def __init__(
+        self, round_index: int, attempt: int, elapsed: float, deadline: float
+    ) -> None:
+        super().__init__(
+            round_index,
+            attempt,
+            f"took {elapsed:.3f}s against a {deadline:.3f}s deadline",
+        )
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class RoundCrashError(TransientRoundError):
+    """The round crashed mid-flight (process death / injected chaos)."""
+
+    def __init__(self, round_index: int, attempt: int) -> None:
+        super().__init__(round_index, attempt, "crashed mid-round")
+
+
+class RetryBudgetExceededError(SupervisorError):
+    """A round exhausted its retry budget without completing."""
+
+    def __init__(self, round_index: int, attempts: int, last: BaseException) -> None:
+        super().__init__(
+            f"round {round_index} failed {attempts} time(s); giving up: {last}"
+        )
+        self.round_index = round_index
+        self.attempts = attempts
+        self.last = last
+
+
+class RecoveryError(SupervisorError):
+    """Crash recovery could not reconstruct a consistent stream state."""
+
+
+class QueueOverflowError(SupervisorError):
+    """The bounded ingest queue overflowed under the ``"error"`` policy."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(
+            f"ingest queue overflowed (capacity {capacity}); "
+            "consumer is not keeping up"
+        )
+        self.capacity = capacity

@@ -1,0 +1,87 @@
+"""Bounded ingest queue with an explicit, deterministic shedding policy.
+
+When rounds run slow (retries, recovery, an overloaded box) the sample
+source keeps producing.  Unbounded buffering turns that into unbounded
+memory and unbounded staleness, so the supervisor ingests through a
+bounded queue with one of three policies, chosen up front and applied
+deterministically (no timing dependence — an offer either fits or it
+does not):
+
+``"drop_oldest"`` (default)
+    Shed the oldest queued sample to make room — the stream stays fresh
+    and keeps its tail; a gap appears in the middle.  Shed samples surface
+    as missing data (the degraded-data machinery sees a shorter feed), not
+    as silent corruption.
+``"drop_newest"``
+    Refuse the incoming sample — the queue's contents are stable, the
+    freshest data is lost.
+``"error"``
+    Raise :class:`~repro.runtime.errors.QueueOverflowError` — explicit
+    backpressure for sources that can block upstream.
+
+Counters (`accepted`, `shed`, `high_watermark`) feed the
+:class:`~repro.runtime.health.HealthSnapshot`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .errors import QueueOverflowError
+
+__all__ = ["SHED_POLICIES", "IngestQueue"]
+
+SHED_POLICIES = ("drop_oldest", "drop_newest", "error")
+
+
+class IngestQueue:
+    """FIFO of pending samples with a hard capacity and shed accounting."""
+
+    def __init__(self, capacity: int, policy: str = "drop_oldest") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHED_POLICIES}, got {policy!r}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._queue: deque[np.ndarray] = deque()
+        self.accepted = 0
+        self.shed = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def offer(self, sample: np.ndarray) -> bool:
+        """Enqueue ``sample``; returns False iff it was shed.
+
+        Under ``"drop_oldest"`` the *offer* always succeeds (returns True)
+        but the queue head may have been shed to make room; under
+        ``"drop_newest"`` a full queue rejects the offer; under
+        ``"error"`` a full queue raises.
+        """
+        if len(self._queue) >= self.capacity:
+            if self.policy == "error":
+                raise QueueOverflowError(self.capacity)
+            if self.policy == "drop_newest":
+                self.shed += 1
+                return False
+            self._queue.popleft()
+            self.shed += 1
+        self._queue.append(sample)
+        self.accepted += 1
+        self.high_watermark = max(self.high_watermark, len(self._queue))
+        return True
+
+    def pop(self) -> np.ndarray:
+        """Dequeue the oldest pending sample."""
+        if not self._queue:
+            raise IndexError("ingest queue is empty")
+        return self._queue.popleft()
+
+    def clear(self) -> None:
+        self._queue.clear()

@@ -265,3 +265,56 @@ class TestComponentState:
         state["n_sensors"] = 13
         with pytest.raises(ValueError):
             CAD.from_state(state)
+
+
+class TestCheckpointError:
+    """Every load failure surfaces as a typed error naming the file."""
+
+    def test_missing_file(self, tmp_path):
+        from repro.core import CheckpointError
+
+        missing = tmp_path / "nope.npz"
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(missing)
+        assert excinfo.value.path == missing
+
+    def test_truncated_archive(self, toy_config, toy_values, tmp_path):
+        from repro.core import CheckpointError
+
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, :200])
+        path = tmp_path / "torn.npz"
+        stream.save(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size // 3)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path)
+        assert excinfo.value.path == path
+        assert excinfo.value.reason
+
+    def test_is_a_value_error(self):
+        from repro.core import CheckpointError
+
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_failed_save_leaves_no_tmp(self, toy_config, toy_values, tmp_path):
+        """An exploding write must not litter ``.tmp`` staging files."""
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, :200])
+        target = tmp_path / "sub" / "ck.npz"  # parent missing -> open fails
+        with pytest.raises(OSError):
+            save_checkpoint(stream, target)
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_save_is_atomic_over_existing(self, toy_config, toy_values, tmp_path):
+        """Re-saving over a checkpoint never exposes a partial file."""
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, :200])
+        path = tmp_path / "ck.npz"
+        stream.save(path)
+        first = path.read_bytes()
+        stream.push_many(toy_values[:, 200:400])
+        stream.save(path)
+        assert path.read_bytes() != first
+        assert load_checkpoint(path).samples_seen == 400
+        assert not list(tmp_path.glob("*.tmp"))

@@ -58,3 +58,72 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "ECOD" in out and "HBOS" in out
+
+
+class TestRunCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "psm-sim"])
+        assert not args.supervised
+        assert args.max_retries == 3
+        assert args.deadline is None
+        assert args.checkpoint_every == 50
+        assert args.checkpoint_dir is None
+        assert args.quarantine_after == 3
+        assert args.health_out is None
+
+    def test_dataset_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_bad_fault_rate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--dataset", "psm-sim", "--fault-rate", "1.5"])
+
+    def test_unsupervised_run(self, capsys):
+        assert main(["run", "--dataset", "smd-sim-02"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+
+    def test_supervised_run_writes_health_and_checkpoints(self, tmp_path, capsys):
+        health_path = tmp_path / "health.json"
+        checkpoint_dir = tmp_path / "ckpts"
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "smd-sim-02",
+                "--supervised",
+                "--checkpoint-every",
+                "200",
+                "--checkpoint-dir",
+                str(checkpoint_dir),
+                "--health-out",
+                str(health_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health" in out
+
+        import json
+
+        health = json.loads(health_path.read_text())
+        assert health["rounds_completed"] > 0
+        assert health["healthy"] is True
+        assert list(checkpoint_dir.glob("ckpt-*.npz")), "rotation must have written"
+
+    def test_supervised_with_faults(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "smd-sim-02",
+                "--supervised",
+                "--fault-rate",
+                "0.01",
+                "--fault-seed",
+                "7",
+            ]
+        )
+        assert code == 0
+        assert "health" in capsys.readouterr().out

@@ -75,3 +75,61 @@ class TestAlarms:
         alarms = list(stream.alarms(iter(test.values.T)))
         assert all(record.abnormal for record in alarms)
         assert alarms, "the injected break should raise at least one alarm"
+
+
+class TestNextRoundEnd:
+    def test_first_round_ends_at_window(self, toy_config):
+        stream = StreamingCAD(toy_config, 12)
+        assert stream.next_round_end == toy_config.window
+
+    def test_advances_by_step(self, toy_config, toy_values):
+        stream = StreamingCAD(toy_config, 12)
+        stream.push_many(toy_values[:, : toy_config.window])
+        assert stream.next_round_end == toy_config.window + toy_config.step
+
+    def test_push_at_boundary_returns_record(self, toy_config, toy_values):
+        stream = StreamingCAD(toy_config, 12)
+        for column in toy_values[:, :400].T:
+            closes_round = stream.samples_seen + 1 == stream.next_round_end
+            record = stream.push(column)
+            assert (record is not None) == closes_round
+
+
+class TestPushError:
+    def test_reports_failing_index_and_partial_records(self, toy_config, toy_values):
+        from repro.core import PushError
+
+        batch = toy_values[:, :400].copy()
+        batch[3, 250] = np.nan  # strict mode rejects NaN
+        stream = StreamingCAD(toy_config, 12)
+        with pytest.raises(PushError) as excinfo:
+            stream.push_many(batch)
+        error = excinfo.value
+        assert error.index == 250
+        assert isinstance(error.__cause__, ValueError)
+        clean_rounds = [
+            r for r in StreamingCAD(toy_config, 12).push_many(batch[:, :250])
+        ]
+        assert error.records == clean_rounds
+
+    def test_stream_positioned_at_failing_column(self, toy_config, toy_values):
+        """Validation precedes mutation: resume = re-push the fixed column."""
+        from repro.core import PushError
+
+        batch = toy_values[:, :400].copy()
+        original = batch[3, 250]
+        batch[3, 250] = np.nan
+        stream = StreamingCAD(toy_config, 12)
+        with pytest.raises(PushError) as excinfo:
+            stream.push_many(batch)
+        assert stream.samples_seen == 250  # the bad column was never absorbed
+
+        batch[3, 250] = original
+        resumed = excinfo.value.records + stream.push_many(batch[:, 250:])
+        baseline = StreamingCAD(toy_config, 12).push_many(batch)
+        assert resumed == baseline
+
+    def test_is_a_value_error(self):
+        from repro.core import PushError
+
+        assert issubclass(PushError, ValueError)

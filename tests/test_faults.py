@@ -199,3 +199,63 @@ class TestDegradedPipeline:
             assert streamed.n_variations == batched.n_variations
             assert streamed.outliers == batched.outliers
             assert streamed.quality == batched.quality
+
+
+class TestFlapping:
+    def test_periodic_nan_pattern(self):
+        from repro.datasets import inject_sensor_flapping
+
+        clean = np.ones((4, 100))
+        corrupted = inject_sensor_flapping(clean, 1, 20, 60, period=10, duty=0.3)
+        assert not np.isnan(clean).any(), "input must not be modified"
+        span = corrupted[1, 20:60]
+        # duty=0.3 over period 10 -> first 3 samples of each period are dead
+        assert np.isnan(span.reshape(4, 10)[:, :3]).all()
+        assert not np.isnan(span.reshape(4, 10)[:, 3:]).any()
+        assert not np.isnan(corrupted[1, :20]).any()
+        assert not np.isnan(corrupted[1, 60:]).any()
+        assert not np.isnan(corrupted[[0, 2, 3], :]).any()
+
+    def test_full_duty_is_a_dropout(self):
+        from repro.datasets import inject_sensor_flapping
+
+        corrupted = inject_sensor_flapping(np.ones((3, 50)), 0, 10, 30, period=5, duty=1.0)
+        assert np.isnan(corrupted[0, 10:30]).all()
+
+    def test_small_duty_kills_at_least_one_sample(self):
+        from repro.datasets import inject_sensor_flapping
+
+        corrupted = inject_sensor_flapping(
+            np.ones((3, 50)), 0, 0, 50, period=10, duty=0.01
+        )
+        assert np.isnan(corrupted[0]).sum() == 5  # one per period
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sensor": 9, "start": 0, "stop": 10, "period": 2},
+            {"sensor": 0, "start": 30, "stop": 10, "period": 2},
+            {"sensor": 0, "start": 0, "stop": 10, "period": 0},
+            {"sensor": 0, "start": 0, "stop": 10, "period": 2, "duty": 0.0},
+            {"sensor": 0, "start": 0, "stop": 10, "period": 2, "duty": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        from repro.datasets import inject_sensor_flapping
+
+        with pytest.raises(ValueError):
+            inject_sensor_flapping(np.ones((4, 100)), **kwargs)
+
+    def test_fault_model_wiring(self):
+        from repro.datasets import inject_sensor_flapping
+
+        model = FaultModel(flapping=((2, 10, 50, 8, 0.5),), seed=0)
+        assert not model.is_clean
+        direct = inject_sensor_flapping(np.ones((4, 100)), 2, 10, 50, 8, 0.5)
+        assert np.array_equal(
+            np.isnan(model.apply(np.ones((4, 100)))), np.isnan(direct)
+        )
+
+    def test_fault_model_flapping_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(flapping=((2, 10, 50, 8),))  # not a 5-tuple

@@ -1,0 +1,95 @@
+"""Retry/backoff policy and clock: deterministic, seeded, bounded."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import MonotonicClock, RetryPolicy, VirtualClock
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(seed=42)
+        assert policy.delay(7, 2) == policy.delay(7, 2)
+        again = RetryPolicy(seed=42)
+        assert policy.delay(7, 2) == again.delay(7, 2)
+
+    def test_delay_varies_with_round_and_attempt(self):
+        policy = RetryPolicy(seed=0, jitter=0.5)
+        delays = {policy.delay(r, a) for r in range(4) for a in range(2)}
+        assert len(delays) == 8, "jitter must decorrelate (round, attempt) pairs"
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0, max_delay=100.0)
+        assert policy.delay(0, 0) == pytest.approx(0.1)
+        assert policy.delay(0, 1) == pytest.approx(0.2)
+        assert policy.delay(0, 3) == pytest.approx(0.8)
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, jitter=0.0, max_delay=5.0)
+        assert policy.delay(0, 4) == pytest.approx(5.0)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25, max_delay=1.0)
+        for attempt in range(20):
+            delay = policy.delay(3, attempt)
+            assert 1.0 <= delay <= 1.25
+
+    def test_zero_base_delay_stays_zero(self):
+        policy = RetryPolicy(base_delay=0.0, jitter=0.5)
+        assert policy.delay(0, 5) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"max_delay": 0.01, "base_delay": 0.05},
+            {"jitter": -0.1},
+            {"seed": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestVirtualClock:
+    def test_sleep_advances_and_accumulates(self):
+        clock = VirtualClock()
+        start = clock.monotonic()
+        clock.sleep(2.5)
+        assert clock.monotonic() == pytest.approx(start + 2.5)
+        assert clock.slept == pytest.approx(2.5)
+
+    def test_advance_does_not_count_as_sleep(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        assert clock.monotonic() == pytest.approx(10.0)
+        assert clock.slept == pytest.approx(0.0)
+
+    def test_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestMonotonicClock:
+    def test_monotonic_moves_forward(self):
+        clock = MonotonicClock()
+        a = clock.monotonic()
+        b = clock.monotonic()
+        assert b >= a
+
+    def test_sleep_zero_is_instant(self):
+        MonotonicClock().sleep(0.0)
+
+
+class TestSeedDerivation:
+    def test_matches_default_rng_spec(self):
+        """The delay must come from default_rng([seed, round, attempt])."""
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=1.0, max_delay=1.0, seed=9)
+        rng = np.random.default_rng([9, 5, 1])
+        assert policy.delay(5, 1) == pytest.approx(1.0 + float(rng.random()))

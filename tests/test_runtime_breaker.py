@@ -1,0 +1,176 @@
+"""Circuit-breaker state machine: every transition, plus bank behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import BreakerBank, BreakerPolicy, BreakerState, SensorBreaker
+
+POLICY = BreakerPolicy(failure_threshold=3, open_rounds=4, probation_rounds=2)
+
+
+def run(breaker: SensorBreaker, verdicts: str) -> BreakerState:
+    """Feed a verdict string ('f' = faulty, 'c' = clean); return final state."""
+    state = breaker.state
+    for verdict in verdicts:
+        state = breaker.record(verdict == "f")
+    return state
+
+
+class TestClosed:
+    def test_starts_closed(self):
+        assert SensorBreaker(POLICY).state is BreakerState.CLOSED
+
+    def test_clean_rounds_stay_closed(self):
+        breaker = SensorBreaker(POLICY)
+        assert run(breaker, "cccccc") is BreakerState.CLOSED
+        assert breaker.times_opened == 0
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = SensorBreaker(POLICY)
+        assert run(breaker, "ff") is BreakerState.CLOSED
+        assert run(breaker, "f") is BreakerState.OPEN
+        assert breaker.times_opened == 1
+
+    def test_clean_round_resets_the_streak(self):
+        breaker = SensorBreaker(POLICY)
+        assert run(breaker, "ffcff") is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 2
+
+
+class TestOpen:
+    def test_cooldown_then_half_open(self):
+        breaker = SensorBreaker(POLICY)
+        run(breaker, "fff")  # trip
+        assert run(breaker, "ccc") is BreakerState.OPEN
+        assert run(breaker, "c") is BreakerState.HALF_OPEN
+
+    def test_quarantined_only_while_open(self):
+        breaker = SensorBreaker(POLICY)
+        assert not breaker.quarantined
+        run(breaker, "fff")
+        assert breaker.quarantined
+        run(breaker, "cccc")
+        assert not breaker.quarantined
+
+    def test_faulty_rounds_do_not_extend_cooldown(self):
+        """The sensor is masked while OPEN; verdicts cannot restart the clock."""
+        breaker = SensorBreaker(POLICY)
+        run(breaker, "fff")
+        assert run(breaker, "ffff") is BreakerState.HALF_OPEN
+
+
+class TestHalfOpen:
+    def trip_to_half_open(self) -> SensorBreaker:
+        breaker = SensorBreaker(POLICY)
+        run(breaker, "fff" + "c" * POLICY.open_rounds)
+        assert breaker.state is BreakerState.HALF_OPEN
+        return breaker
+
+    def test_faulty_during_probation_reopens(self):
+        breaker = self.trip_to_half_open()
+        assert run(breaker, "f") is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        assert breaker.rounds_open == 0, "cooldown restarts from zero"
+
+    def test_clean_probation_closes(self):
+        breaker = self.trip_to_half_open()
+        assert run(breaker, "c") is BreakerState.HALF_OPEN
+        assert run(breaker, "c") is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_partial_probation_does_not_close(self):
+        breaker = self.trip_to_half_open()
+        assert run(breaker, "cf") is BreakerState.OPEN
+
+
+class TestDisabled:
+    def test_threshold_zero_never_trips(self):
+        breaker = SensorBreaker(BreakerPolicy(failure_threshold=0))
+        assert run(breaker, "f" * 50) is BreakerState.CLOSED
+        assert breaker.times_opened == 0
+
+    def test_enabled_property(self):
+        assert not BreakerPolicy(failure_threshold=0).enabled
+        assert BreakerPolicy(failure_threshold=1).enabled
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": -1},
+            {"open_rounds": 0},
+            {"probation_rounds": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)
+
+
+class TestStateRoundTrip:
+    def test_survives_serialisation_mid_lifecycle(self):
+        breaker = SensorBreaker(POLICY)
+        run(breaker, "fffccf")  # OPEN, 3 rounds into cooldown
+        clone = SensorBreaker.from_state(POLICY, breaker.to_state())
+        # The clone must continue the lifecycle identically.
+        for verdicts in ("c", "c", "c"):
+            assert run(breaker, verdicts) is run(clone, verdicts)
+        assert clone.times_opened == breaker.times_opened
+
+
+class TestBank:
+    def test_quarantine_mask_tracks_open_breakers(self):
+        bank = BreakerBank(4, POLICY)
+        for _ in range(3):
+            bank.record_round(np.array([True, False, False, True]))
+        assert bank.quarantine_mask().tolist() == [True, False, False, True]
+        assert bank.open_sensors() == (0, 3)
+        assert bank.half_open_sensors() == ()
+        assert bank.total_times_opened() == 2
+
+    def test_record_round_reports_idle_rounds(self):
+        bank = BreakerBank(3, POLICY)
+        assert not bank.record_round(np.zeros(3, dtype=bool))
+        assert bank.record_round(np.array([True, False, False]))
+        # A clean round is no longer a provable no-op: streaks must reset.
+        assert bank.record_round(np.zeros(3, dtype=bool))
+        assert not bank.record_round(np.zeros(3, dtype=bool))
+
+    def test_shape_check(self):
+        bank = BreakerBank(3, POLICY)
+        with pytest.raises(ValueError):
+            bank.record_round(np.zeros(4, dtype=bool))
+
+    def test_bank_round_trip(self):
+        bank = BreakerBank(3, POLICY)
+        for _ in range(3):
+            bank.record_round(np.array([True, True, False]))
+        clone = BreakerBank.from_state(POLICY, bank.to_state())
+        assert clone.open_sensors() == bank.open_sensors()
+        assert clone.quarantine_mask().tolist() == bank.quarantine_mask().tolist()
+        # Restored banks must keep honouring the idle fast path correctly:
+        # sensors 0/1 are OPEN, so a clean round still advances cooldowns.
+        assert clone.record_round(np.zeros(3, dtype=bool))
+
+
+@settings(max_examples=60, deadline=None)
+@given(verdicts=st.lists(st.booleans(), min_size=1, max_size=60))
+def test_invariants_over_arbitrary_verdicts(verdicts):
+    """Counter bounds hold at every step of any verdict sequence."""
+    breaker = SensorBreaker(POLICY)
+    opened_before = 0
+    for faulty in verdicts:
+        state = breaker.record(faulty)
+        if state is BreakerState.CLOSED:
+            assert 0 <= breaker.consecutive_failures < POLICY.failure_threshold
+        elif state is BreakerState.OPEN:
+            assert 0 <= breaker.rounds_open < POLICY.open_rounds
+            assert breaker.quarantined
+        else:
+            assert 0 <= breaker.clean_probation_rounds < POLICY.probation_rounds
+        assert breaker.times_opened >= opened_before
+        assert breaker.times_opened - opened_before <= 1, "at most one trip per round"
+        opened_before = breaker.times_opened
