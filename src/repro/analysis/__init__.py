@@ -14,6 +14,7 @@ R5        picklable, race-free process-pool dispatch
 R6        no mutable default arguments
 R7        no swallowed exceptions on checkpoint/streaming paths
 R8        NaN-aware reductions on degraded-mode-reachable arrays
+R9        producer-time-only ingest (no host clock / naive datetime)
 ========  ==========================================================
 
 Run ``python -m repro.analysis src/repro tests benchmarks``; suppress a

@@ -10,6 +10,7 @@ from .base import FileContext, Rule, Violation
 from .defaults import MutableDefaultRule
 from .exceptions import SwallowedExceptionRule
 from .floats import FloatEqualityRule
+from .ingest_clock import IngestClockRule
 from .nandiscipline import NanDisciplineRule
 from .ordering import UnorderedIterationRule
 from .parallel_dispatch import ParallelDispatchRule
@@ -25,6 +26,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     SwallowedExceptionRule(),
     NanDisciplineRule(),
+    IngestClockRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,94 @@
+"""R9 — no wall-clock or naive-datetime use in the ingest frontier.
+
+The frontier's whole contract is that ordering decisions — reorder,
+dedup, late-drop, watermark advance — are pure functions of *producer*
+timestamps carried inside :class:`~repro.ingest.SampleEnvelope`.  The
+moment ``repro.ingest`` consults the host clock (wall or monotonic), the
+bit-identical-under-chaos guarantee and checkpoint/resume both break:
+the same envelope stream replayed a minute later would flush differently.
+Naive datetime construction is the subtler cousin: ``fromtimestamp``
+without ``tz=`` interprets an absolute producer timestamp in the *host's*
+local zone, so two replicas in different zones disagree on the round
+grid.  Producer time is data; it arrives in the envelope or not at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, dotted_name
+from .wallclock import _WALL_CLOCK_SUFFIXES
+
+#: Monotonic/host clocks — harmless for benchmarking, but inside the
+#: frontier they can only feed ordering decisions, which must replay.
+_MONOTONIC_SUFFIXES = (
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+)
+
+#: Naive-datetime constructors: ``utcfromtimestamp`` always returns a
+#: naive object; ``fromtimestamp`` does unless ``tz=`` is passed.
+_NAIVE_SUFFIXES = (
+    "datetime.fromtimestamp",
+    "datetime.utcfromtimestamp",
+)
+
+
+def _suffix_match(dotted: str, suffixes: tuple[str, ...]) -> str | None:
+    for suffix in suffixes:
+        if dotted == suffix or dotted.endswith("." + suffix):
+            return suffix
+    return None
+
+
+class IngestClockRule(Rule):
+    rule_id = "R9"
+    title = "host clock or naive datetime in the ingest frontier"
+    rationale = (
+        "frontier ordering must be a pure function of producer timestamps; "
+        "host clocks and zone-dependent datetimes break replay and "
+        "bit-identity under delivery chaos"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package("ingest")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if _suffix_match(dotted, _WALL_CLOCK_SUFFIXES) is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{dotted}() reads the wall clock inside the ingest "
+                    "frontier; producer time arrives in the envelope, not "
+                    "from the host",
+                )
+            elif _suffix_match(dotted, _MONOTONIC_SUFFIXES) is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{dotted}() reads a host clock inside the ingest "
+                    "frontier; ordering decisions keyed on it cannot be "
+                    "replayed bit-identically",
+                )
+            elif _suffix_match(dotted, _NAIVE_SUFFIXES) is not None:
+                if dotted.endswith("utcfromtimestamp") or not any(
+                    keyword.arg == "tz" for keyword in node.keywords
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{dotted}() builds a naive datetime; the round "
+                        "grid would depend on the host time zone — pass "
+                        "tz= or keep timestamps as floats",
+                    )

@@ -22,7 +22,10 @@ Commands
     (``--max-retries``), sensor circuit breakers (``--quarantine-after``),
     rotated crash-safe checkpoints (``--checkpoint-every``,
     ``--checkpoint-dir``) — and ends with a health report
-    (``--health-out`` writes it as JSON).
+    (``--health-out`` writes it as JSON).  ``--disorder-horizon H`` (with
+    ``--late-policy`` and ``--dedup/--no-dedup``) routes the feed through
+    the :mod:`repro.ingest` frontier as timestamped envelopes, tolerating
+    out-of-order, duplicate and late delivery.
 """
 
 from __future__ import annotations
@@ -144,6 +147,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final HealthSnapshot as JSON to this path (supervised only)",
     )
+    run.add_argument(
+        "--disorder-horizon",
+        type=int,
+        default=0,
+        help="route the feed through the ingest frontier as timestamped "
+        "envelopes, reordering within this many rows; 0 pushes rows directly",
+    )
+    run.add_argument(
+        "--late-policy",
+        choices=("drop", "nan_patch"),
+        default="nan_patch",
+        help="frontier handling of rows incomplete at flush time: nan_patch "
+        "emits NaN cells into the degraded-data path (implies "
+        "--allow-missing), drop skips the row",
+    )
+    run.add_argument(
+        "--dedup",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="absorb redelivered (sensor, seq) envelopes idempotently",
+    )
 
     compare = commands.add_parser("compare", help="compare methods on a dataset")
     compare.add_argument("--dataset", required=True, choices=dataset_names())
@@ -241,10 +265,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"--max-retries must be >= 0, got {args.max_retries}")
     if args.quarantine_after < 0:
         raise SystemExit(f"--quarantine-after must be >= 0, got {args.quarantine_after}")
+    if args.disorder_horizon < 0:
+        raise SystemExit(
+            f"--disorder-horizon must be >= 0, got {args.disorder_horizon}"
+        )
 
     data = load_dataset(args.dataset)
     quarantining = args.supervised and args.quarantine_after > 0
-    allow_missing = args.allow_missing or args.fault_rate > 0.0 or quarantining
+    nan_patching = args.disorder_horizon > 0 and args.late_policy == "nan_patch"
+    allow_missing = (
+        args.allow_missing or args.fault_rate > 0.0 or quarantining or nan_patching
+    )
     config = CADConfig.suggest(
         data.test.length,
         data.n_sensors,
@@ -262,6 +293,20 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"(seed {args.fault_seed})"
         )
 
+    frontier = None
+    if args.disorder_horizon > 0:
+        from .ingest import FrontierConfig, IngestFrontier, envelopes_from_matrix
+
+        frontier = IngestFrontier(
+            FrontierConfig(
+                n_sensors=data.n_sensors,
+                disorder_horizon=args.disorder_horizon,
+                late_policy=args.late_policy,
+                dedup=args.dedup,
+            )
+        )
+        envelopes = envelopes_from_matrix(test_values)
+
     if args.supervised:
         supervisor = StreamSupervisor(
             config,
@@ -273,14 +318,32 @@ def cmd_run(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every,
             ),
             checkpoint_dir=args.checkpoint_dir,
+            frontier=frontier,
         )
         supervisor.warm_up(data.history)
-        records = supervisor.process_many(test_values)
+        if frontier is not None:
+            records = supervisor.ingest_many(envelopes)
+            records.extend(supervisor.finish())
+        else:
+            records = supervisor.process_many(test_values)
         health = supervisor.health()
     else:
         stream = StreamingCAD(config, data.n_sensors)
         stream.warm_up(data.history)
-        records = stream.push_many(test_values)
+        if frontier is not None:
+            records = []
+            for envelope in envelopes:
+                frontier.push(envelope)
+                while (row := frontier.pop_ready()) is not None:
+                    record = stream.push(row)
+                    if record is not None:
+                        records.append(record)
+            for row in frontier.drain():
+                record = stream.push(row)
+                if record is not None:
+                    records.append(record)
+        else:
+            records = stream.push_many(test_values)
         health = None
 
     abnormal = sum(1 for record in records if record.abnormal)
@@ -289,6 +352,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"streamed {args.dataset} ({mode}): {len(records)} rounds, "
         f"{abnormal} abnormal"
     )
+    if frontier is not None:
+        stats = frontier.stats()
+        print(
+            f"frontier: accepted {stats.accepted} | reordered {stats.reordered} | "
+            f"deduped {stats.deduped} | late {stats.late_dropped} | "
+            f"nan-patched {stats.nan_patched} | rows dropped {stats.rows_dropped}"
+        )
     if health is not None:
         status = "healthy" if health.healthy else "DEGRADED"
         print(

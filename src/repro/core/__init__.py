@@ -14,7 +14,7 @@ from .pipeline import CommunityPipeline, RoundCommunity
 from .postprocess import consolidate, drop_short, merge_nearby
 from .result import Anomaly, DataQuality, DetectionResult, RoundRecord
 from .rootcause import SensorCause, propagation_order, rank_root_causes
-from .streaming import PushError, StreamingCAD
+from .streaming import InvalidSampleError, PushError, StreamingCAD
 from .tsg import build_tsg, tsg_sequence
 from .variation import RunningMoments, outlier_set, outlier_variations
 
@@ -32,6 +32,7 @@ __all__ = [
     "load_checkpoint",
     "CheckpointError",
     "PushError",
+    "InvalidSampleError",
     "CHECKPOINT_VERSION",
     "build_tsg",
     "tsg_sequence",

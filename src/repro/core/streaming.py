@@ -32,6 +32,27 @@ from .detector import CAD
 from .result import RoundRecord
 
 
+class InvalidSampleError(ValueError):
+    """A pushed sample carried non-finite readings the mode cannot accept.
+
+    Infinity is rejected in *every* mode: NaN is the one sanctioned missing
+    marker (degraded-data semantics, PR 1), while ±inf silently poisons the
+    correlation kernel — one inf reading turns a window's mean, std and
+    every Pearson coefficient touching the sensor into inf/NaN garbage
+    without raising.  NaN itself is only rejected outside
+    ``allow_missing`` mode.
+
+    ``index`` is the offending sensor's position in the sample (the first
+    one, when several are bad).  Subclasses :class:`ValueError` so callers
+    catching the pre-existing validation errors keep working.
+    """
+
+    def __init__(self, index: int, reason: str) -> None:
+        super().__init__(f"sensor {index}: {reason}")
+        self.index = index
+        self.reason = reason
+
+
 class PushError(ValueError):
     """A :meth:`StreamingCAD.push_many` batch failed part-way through.
 
@@ -109,13 +130,18 @@ class StreamingCAD:
             raise ValueError(
                 f"expected sample of {self._n_sensors} readings, got {sample.shape}"
             )
-        if self._config.allow_missing:
-            if np.isinf(sample).any():
-                raise ValueError("sample must not contain inf (NaN marks missing)")
-        elif not np.isfinite(sample).all():
-            raise ValueError(
-                "sample contains non-finite readings; "
-                "set CADConfig(allow_missing=True) to stream degraded data"
+        infinite = np.isinf(sample)
+        if infinite.any():
+            raise InvalidSampleError(
+                int(np.argmax(infinite)),
+                "reading is infinite; inf is never a valid measurement "
+                "(NaN marks a missing reading)",
+            )
+        if not self._config.allow_missing and np.isnan(sample).any():
+            raise InvalidSampleError(
+                int(np.argmax(np.isnan(sample))),
+                "reading is NaN; set CADConfig(allow_missing=True) to "
+                "stream degraded data",
             )
         if self._end == self._capacity:
             # Slide: only the last window - 1 columns can still be part of a

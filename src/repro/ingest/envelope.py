@@ -1,0 +1,133 @@
+"""Typed, validated delivery envelopes for the ingest frontier.
+
+A :class:`SampleEnvelope` is the unit production telemetry actually ships:
+one sensor's reading at one tick, stamped with the *producer's* sequence
+number and local clock.  Everything the frontier needs to survive messy
+delivery rides on the envelope:
+
+* ``sensor`` — which stream the reading belongs to;
+* ``seq`` — the producer's per-sensor tick counter, the identity used for
+  idempotent dedup (redelivering ``(sensor, seq)`` is a no-op);
+* ``timestamp`` — the producer's clock reading for the tick, the *ordering
+  authority*: the frontier maps it onto the round grid (optionally after
+  per-sensor clock-skew correction) and never consults the host clock
+  (lint rule R9);
+* ``value`` — the scalar payload.  NaN is the sanctioned missing marker
+  (degraded-data semantics); ±inf is rejected outright, matching
+  :class:`~repro.core.streaming.InvalidSampleError` at the detector door.
+
+Validation happens at construction: a malformed envelope raises a typed
+:class:`~repro.runtime.errors.EnvelopeValidationError` and never reaches
+the reorder buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..runtime.errors import EnvelopeValidationError
+
+__all__ = ["SampleEnvelope", "envelopes_from_matrix"]
+
+#: Payload / timestamp types accepted as real scalars (bool is excluded:
+#: a bool reading is almost always a schema bug upstream).
+_REAL_TYPES = (int, float, np.integer, np.floating)
+
+
+def _as_real(field: str, value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, _REAL_TYPES):
+        raise EnvelopeValidationError(
+            field, f"expected a real scalar, got {type(value).__name__}"
+        )
+    return float(value)
+
+
+@dataclass(frozen=True)
+class SampleEnvelope:
+    """One sensor reading in flight (see module docstring).
+
+    Attributes
+    ----------
+    sensor:
+        0-based sensor index (width-checked against the frontier's
+        ``n_sensors`` at ingest, not here).
+    seq:
+        Producer-side per-sensor sequence number, >= 0.
+    timestamp:
+        Producer clock reading for the tick; must be finite.
+    value:
+        The reading; NaN marks an explicitly-missing reading, inf is
+        rejected.
+    """
+
+    sensor: int
+    seq: int
+    timestamp: float
+    value: float
+
+    def __post_init__(self) -> None:
+        for field in ("sensor", "seq"):
+            raw = getattr(self, field)
+            if isinstance(raw, bool) or not isinstance(raw, (int, np.integer)):
+                raise EnvelopeValidationError(
+                    field, f"expected an int, got {type(raw).__name__}"
+                )
+            if raw < 0:
+                raise EnvelopeValidationError(field, f"must be >= 0, got {raw}")
+            object.__setattr__(self, field, int(raw))
+        timestamp = _as_real("timestamp", self.timestamp)
+        if not math.isfinite(timestamp):
+            raise EnvelopeValidationError(
+                "timestamp", f"must be finite, got {timestamp}"
+            )
+        object.__setattr__(self, "timestamp", timestamp)
+        value = _as_real("value", self.value)
+        if math.isinf(value):
+            raise EnvelopeValidationError(
+                "value",
+                "reading is infinite; inf is never a valid measurement "
+                "(NaN marks a missing reading)",
+            )
+        object.__setattr__(self, "value", value)
+
+
+def envelopes_from_matrix(
+    values: np.ndarray,
+    *,
+    epoch: float = 0.0,
+    period: float = 1.0,
+    skew: Sequence[float] | None = None,
+    start_seq: int = 0,
+) -> Iterator[SampleEnvelope]:
+    """Yield the clean, in-order envelope stream of an ``(n, T)`` matrix.
+
+    Column ``t`` becomes ``n`` envelopes with ``seq = start_seq + t`` and
+    ``timestamp = epoch + seq * period`` (plus the sensor's ``skew`` offset
+    when given, modelling a drifted producer clock).  This is the reference
+    delivery the chaos model perturbs and the frontier must reconstruct.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D (n_sensors, length), got {values.shape}")
+    if period <= 0.0:
+        raise ValueError(f"period must be > 0, got {period}")
+    n_sensors = values.shape[0]
+    if skew is not None and len(skew) != n_sensors:
+        raise ValueError(
+            f"skew must give one offset per sensor ({n_sensors}), got {len(skew)}"
+        )
+    for t in range(values.shape[1]):
+        seq = start_seq + t
+        tick = epoch + seq * period
+        for sensor in range(n_sensors):
+            offset = skew[sensor] if skew is not None else 0.0
+            yield SampleEnvelope(
+                sensor=sensor,
+                seq=seq,
+                timestamp=tick + offset,
+                value=float(values[sensor, t]),
+            )

@@ -15,12 +15,17 @@ from .chaos import ChaosModel
 from .clock import Clock, MonotonicClock, VirtualClock
 from .errors import (
     CheckpointError,
+    EnvelopeValidationError,
+    FrontierStateError,
+    IngestError,
+    InvalidSampleError,
     PushError,
     QueueOverflowError,
     RecoveryError,
     RetryBudgetExceededError,
     RoundCrashError,
     RoundTimeoutError,
+    SequenceConflictError,
     SupervisorError,
     TransientRoundError,
 )
@@ -40,9 +45,14 @@ __all__ = [
     "MonotonicClock",
     "VirtualClock",
     "CheckpointError",
+    "EnvelopeValidationError",
+    "FrontierStateError",
+    "IngestError",
+    "InvalidSampleError",
     "PushError",
     "QueueOverflowError",
     "RecoveryError",
+    "SequenceConflictError",
     "RetryBudgetExceededError",
     "RoundCrashError",
     "RoundTimeoutError",

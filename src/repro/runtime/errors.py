@@ -20,17 +20,27 @@ code switches on exception class instead of string-matching messages:
 ``QueueOverflowError``
     The bounded ingest queue overflowed under the ``"error"`` shedding
     policy (the explicit-backpressure mode; the drop policies shed instead).
+``IngestError``
+    Base of the delivery-frontier rejection taxonomy (:mod:`repro.ingest`).
+    Subtypes: ``EnvelopeValidationError`` (an envelope failed schema /
+    shape / dtype / finiteness validation and never entered the reorder
+    buffer), ``SequenceConflictError`` (two envelopes with *different*
+    sequence numbers claimed the same grid cell — producer-side numbering
+    is broken, which dedup must not paper over), and ``FrontierStateError``
+    (a checkpointed frontier state could not be restored consistently).
 
 :class:`~repro.core.checkpoint.CheckpointError` (corrupt/unreadable
-checkpoint file) and :class:`~repro.core.streaming.PushError` (mid-batch
-push failure with the exact offset) are re-exported here so runtime callers
-import the full taxonomy from one place.
+checkpoint file), :class:`~repro.core.streaming.PushError` (mid-batch
+push failure with the exact offset) and
+:class:`~repro.core.streaming.InvalidSampleError` (non-finite readings in a
+pushed sample) are re-exported here so runtime callers import the full
+taxonomy from one place.
 """
 
 from __future__ import annotations
 
 from ..core.checkpoint import CheckpointError
-from ..core.streaming import PushError
+from ..core.streaming import InvalidSampleError, PushError
 
 __all__ = [
     "SupervisorError",
@@ -40,8 +50,13 @@ __all__ = [
     "RetryBudgetExceededError",
     "RecoveryError",
     "QueueOverflowError",
+    "IngestError",
+    "EnvelopeValidationError",
+    "SequenceConflictError",
+    "FrontierStateError",
     "CheckpointError",
     "PushError",
+    "InvalidSampleError",
 ]
 
 
@@ -115,3 +130,50 @@ class QueueOverflowError(SupervisorError):
             "consumer is not keeping up"
         )
         self.capacity = capacity
+
+
+class IngestError(SupervisorError):
+    """Base class of the delivery-frontier rejection taxonomy."""
+
+
+class EnvelopeValidationError(IngestError):
+    """A :class:`~repro.ingest.SampleEnvelope` failed validation.
+
+    Attributes
+    ----------
+    field:
+        Name of the envelope field that failed (``"sensor"``, ``"seq"``,
+        ``"timestamp"``, ``"value"``).
+    reason:
+        Human-readable description of the violation.
+    """
+
+    def __init__(self, field: str, reason: str) -> None:
+        super().__init__(f"invalid envelope {field}: {reason}")
+        self.field = field
+        self.reason = reason
+
+
+class SequenceConflictError(IngestError):
+    """Two different sequence numbers claimed the same grid cell.
+
+    Redelivery of the *same* ``(sensor, seq)`` is idempotent (deduped);
+    two *different* sequence numbers landing on one ``(sensor, row)`` cell
+    mean the producer's numbering or clock is broken, and silently keeping
+    either value would corrupt the stream.
+    """
+
+    def __init__(self, sensor: int, row: int, held_seq: int, new_seq: int) -> None:
+        super().__init__(
+            f"sensor {sensor} row {row}: cell already holds seq {held_seq}, "
+            f"seq {new_seq} maps to the same grid position; producer "
+            "sequence numbering and timestamps disagree"
+        )
+        self.sensor = sensor
+        self.row = row
+        self.held_seq = held_seq
+        self.new_seq = new_seq
+
+
+class FrontierStateError(IngestError):
+    """A checkpointed frontier state payload is inconsistent or foreign."""

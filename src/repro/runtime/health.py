@@ -30,6 +30,10 @@ class HealthSnapshot:
         Samples dropped by the bounded-queue shedding policy.
     queue_depth, queue_high_watermark:
         Current and worst-case ingest backlog.
+    queue_policy, queue_capacity:
+        The bounded queue's shedding policy and hard capacity — reported so
+        an operator reading ``samples_shed`` can tell *which* policy shed
+        (``drop_oldest`` gaps the middle, ``drop_newest`` loses the tail).
     retries:
         Transient-failure retries performed (crashes + timeouts).
     slow_rounds:
@@ -51,6 +55,20 @@ class HealthSnapshot:
     degraded_rounds:
         Emitted rounds whose decision used incomplete data (masked sensors
         or missing readings).
+    samples_reordered, samples_deduped, samples_late_dropped:
+        Delivery-frontier counters (zero without an attached
+        :class:`~repro.ingest.IngestFrontier`): out-of-order envelopes
+        re-sequenced, redelivered envelopes absorbed idempotently, and
+        envelopes discarded for arriving past the watermark.
+    cells_nan_patched:
+        Sample cells emitted as NaN because their envelope missed the
+        watermark (``late_policy="nan_patch"``); absorbed by the
+        degraded-data path.
+    rows_dropped:
+        Whole sample rows skipped as incomplete (``late_policy="drop"``).
+    watermark_lag:
+        Rows currently held in the reorder buffer between the flush
+        frontier and the newest observed row.
     """
 
     rounds_completed: int = 0
@@ -58,6 +76,8 @@ class HealthSnapshot:
     samples_shed: int = 0
     queue_depth: int = 0
     queue_high_watermark: int = 0
+    queue_policy: str = "drop_oldest"
+    queue_capacity: int = 0
     retries: int = 0
     slow_rounds: int = 0
     crashes_recovered: int = 0
@@ -68,6 +88,12 @@ class HealthSnapshot:
     half_open_breakers: tuple[int, ...] = field(default=())
     breaker_trips: int = 0
     degraded_rounds: int = 0
+    samples_reordered: int = 0
+    samples_deduped: int = 0
+    samples_late_dropped: int = 0
+    cells_nan_patched: int = 0
+    rows_dropped: int = 0
+    watermark_lag: int = 0
 
     def to_dict(self) -> dict[str, object]:
         payload = asdict(self)

@@ -29,6 +29,14 @@ without giving up the paper's Table VIII determinism:
   a deterministic shedding policy (:mod:`repro.runtime.queue`), and
   :meth:`StreamSupervisor.health` reports a structured
   :class:`HealthSnapshot`.
+* **Delivery frontier (optional)** — with an attached
+  :class:`~repro.ingest.IngestFrontier`, producers feed timestamped
+  per-sensor envelopes via :meth:`StreamSupervisor.ingest` instead of
+  aligned sample rows: out-of-order delivery is re-sequenced inside the
+  disorder horizon, redelivery dedups idempotently, late envelopes follow
+  the frontier's explicit policy, and the frontier's reorder state is
+  checkpointed alongside the stream so a restarted process resumes
+  mid-reorder without double-feeding (``benchmarks/bench_delivery.py``).
 
 Determinism contract: with a :class:`~repro.runtime.clock.VirtualClock`
 and a seeded :class:`~repro.runtime.chaos.ChaosModel`, a supervised run —
@@ -43,9 +51,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to keep repro.ingest <-> runtime acyclic
+    from ..ingest.envelope import SampleEnvelope
+    from ..ingest.frontier import IngestFrontier
 
 from ..core.config import CADConfig
 from ..core.result import RoundRecord
@@ -144,6 +156,12 @@ class StreamSupervisor:
         Time source; inject a :class:`VirtualClock` for deterministic tests.
     chaos:
         Optional process-fault injector (soak/chaos harness only).
+    frontier:
+        Optional :class:`~repro.ingest.IngestFrontier`; attaching one
+        enables the envelope API (:meth:`ingest` / :meth:`finish`),
+        includes the reorder state in every checkpoint, and surfaces the
+        frontier counters in :meth:`health`.  ``late_policy="nan_patch"``
+        requires ``config.allow_missing`` (patched rows carry NaN).
     resume:
         When True (default) and ``checkpoint_dir`` holds a valid
         generation, adopt it: the stream, breaker states and counters
@@ -160,6 +178,7 @@ class StreamSupervisor:
         checkpoint_dir: str | Path | None = None,
         clock: Clock | None = None,
         chaos: ChaosModel | None = None,
+        frontier: "IngestFrontier | None" = None,
         resume: bool = True,
     ) -> None:
         self._sup = supervisor if supervisor is not None else SupervisorConfig()
@@ -169,6 +188,19 @@ class StreamSupervisor:
                 "CADConfig(allow_missing=True); set it, or disable breakers "
                 "with BreakerPolicy(failure_threshold=0)"
             )
+        if frontier is not None:
+            if frontier.config.n_sensors != n_sensors:
+                raise ValueError(
+                    f"frontier assembles {frontier.config.n_sensors}-sensor "
+                    f"rows, supervisor expects {n_sensors}"
+                )
+            if frontier.config.late_policy == "nan_patch" and not config.allow_missing:
+                raise ValueError(
+                    'late_policy="nan_patch" emits NaN-patched rows and needs '
+                    "CADConfig(allow_missing=True); set it, or use "
+                    'late_policy="drop"'
+                )
+        self._frontier = frontier
         self._config = config
         self._n_sensors = n_sensors
         self._clock: Clock = clock if clock is not None else MonotonicClock()
@@ -231,6 +263,11 @@ class StreamSupervisor:
         """The per-sensor circuit breakers."""
         return self._bank
 
+    @property
+    def frontier(self) -> "IngestFrontier | None":
+        """The attached delivery frontier (None when feeding sample rows)."""
+        return self._frontier
+
     def warm_up(self, history: MultivariateTimeSeries) -> None:
         """Seed detector statistics; kept for from-scratch recovery replay."""
         self._history = history
@@ -279,6 +316,56 @@ class StreamSupervisor:
             for record in self.process(np.asarray(sample)):
                 yield record
 
+    # ----------------------------------------------------------------- #
+    # Envelope API (delivery frontier)
+    # ----------------------------------------------------------------- #
+
+    def _require_frontier(self) -> "IngestFrontier":
+        if self._frontier is None:
+            raise ValueError(
+                "no IngestFrontier attached; construct the supervisor with "
+                "frontier=IngestFrontier(...) to ingest envelopes"
+            )
+        return self._frontier
+
+    def ingest(self, envelope: "SampleEnvelope") -> list[RoundRecord]:
+        """Feed one timestamped envelope; return the *new* round records.
+
+        Rows are pulled off the frontier one at a time and fed through the
+        full supervised pipeline, so a checkpoint written mid-flush still
+        captures every not-yet-consumed row inside the frontier state.
+        """
+        frontier = self._require_frontier()
+        frontier.push(envelope)
+        records: list[RoundRecord] = []
+        while True:
+            row = frontier.pop_ready()
+            if row is None:
+                return records
+            records.extend(self._process_raw(row))
+
+    def ingest_many(
+        self, envelopes: Iterable["SampleEnvelope"]
+    ) -> list[RoundRecord]:
+        """Feed a batch of envelopes (any delivery order)."""
+        records: list[RoundRecord] = []
+        for envelope in envelopes:
+            records.extend(self.ingest(envelope))
+        return records
+
+    def finish(self) -> list[RoundRecord]:
+        """Drain the frontier past the watermark (end of the stream).
+
+        Rows the watermark was still holding back flush in grid order;
+        call once after the last envelope.  No-op without a frontier.
+        """
+        if self._frontier is None:
+            return []
+        records: list[RoundRecord] = []
+        for row in self._frontier.drain():
+            records.extend(self._process_raw(row))
+        return records
+
     def checkpoint_now(self) -> Path | None:
         """Write a checkpoint generation immediately (None without a dir)."""
         if self._rotation is None:
@@ -287,12 +374,15 @@ class StreamSupervisor:
 
     def health(self) -> HealthSnapshot:
         """Structured health report (see :class:`HealthSnapshot`)."""
+        stats = self._frontier.stats() if self._frontier is not None else None
         return HealthSnapshot(
             rounds_completed=self._rounds_completed,
             samples_ingested=self._samples_ingested,
             samples_shed=self._queue.shed,
             queue_depth=len(self._queue),
             queue_high_watermark=self._queue.high_watermark,
+            queue_policy=self._queue.policy,
+            queue_capacity=self._queue.capacity,
             retries=self._retries,
             slow_rounds=self._slow_rounds,
             crashes_recovered=self._crashes_recovered,
@@ -303,6 +393,12 @@ class StreamSupervisor:
             half_open_breakers=self._bank.half_open_sensors(),
             breaker_trips=self._bank.total_times_opened(),
             degraded_rounds=self._degraded_rounds,
+            samples_reordered=stats.reordered if stats is not None else 0,
+            samples_deduped=stats.deduped if stats is not None else 0,
+            samples_late_dropped=stats.late_dropped if stats is not None else 0,
+            cells_nan_patched=stats.nan_patched if stats is not None else 0,
+            rows_dropped=stats.rows_dropped if stats is not None else 0,
+            watermark_lag=stats.watermark_lag if stats is not None else 0,
         )
 
     # ----------------------------------------------------------------- #
@@ -444,7 +540,11 @@ class StreamSupervisor:
 
     def _runtime_state(self) -> dict[str, Any]:
         self._flush_nan_counts()
+        frontier_state = (
+            self._frontier.to_state() if self._frontier is not None else None
+        )
         return {
+            "frontier": frontier_state,
             "breakers": self._bank.to_state(),
             "nan_counts": [int(v) for v in self._nan_counts],
             "segment_len": self._stream.samples_seen - self._segment_start,
@@ -509,6 +609,13 @@ class StreamSupervisor:
         self._replay_raw.clear()
         self._replay_masked.clear()
         self._restore_runtime_state(restored.runtime_state)
+        # Frontier reorder state resumes only across process death (here):
+        # an in-process retry keeps the *live* frontier, because rows it
+        # already flushed sit in the replay buffer and rewinding it would
+        # re-flush them on the next envelope.
+        frontier_state = restored.runtime_state.get("frontier")
+        if self._frontier is not None and frontier_state is not None:
+            self._frontier.restore_state(frontier_state)
         health = restored.runtime_state.get("health", {})
         self._rounds_completed = int(health.get("rounds_completed", 0))
         self._degraded_rounds = int(health.get("degraded_rounds", 0))

@@ -420,6 +420,54 @@ class TestR8NanDiscipline:
         )
 
 
+class TestR9IngestClock:
+    FRONTIER = "src/repro/ingest/frontier.py"
+
+    def test_wall_clock_flagged_in_ingest(self):
+        assert "R9" in rules_fired(
+            "import time\nnow = time.time()\n", self.FRONTIER
+        )
+
+    def test_monotonic_clock_flagged_in_ingest(self):
+        assert "R9" in rules_fired(
+            "import time\nmark = time.perf_counter()\n", self.FRONTIER
+        )
+
+    def test_naive_fromtimestamp_flagged(self):
+        assert "R9" in rules_fired(
+            "from datetime import datetime\n"
+            "stamp = datetime.fromtimestamp(ts)\n",
+            self.FRONTIER,
+        )
+
+    def test_utcfromtimestamp_always_flagged(self):
+        assert "R9" in rules_fired(
+            "from datetime import datetime, timezone\n"
+            "stamp = datetime.utcfromtimestamp(ts)\n",
+            self.FRONTIER,
+        )
+
+    def test_aware_fromtimestamp_clean(self):
+        assert "R9" not in rules_fired(
+            "from datetime import datetime, timezone\n"
+            "stamp = datetime.fromtimestamp(ts, tz=timezone.utc)\n",
+            self.FRONTIER,
+        )
+
+    def test_outside_ingest_clean(self):
+        assert "R9" not in rules_fired(
+            "import time\nmark = time.perf_counter()\n",
+            "src/repro/bench/timing.py",
+        )
+
+    def test_noqa_with_reason_suppresses(self):
+        assert "R9" not in rules_fired(
+            "import time\n"
+            "t = time.monotonic()  # repro: noqa[R9] diagnostics only\n",
+            self.FRONTIER,
+        )
+
+
 class TestPragmas:
     def test_bare_noqa_suppresses_all_rules(self):
         assert (
@@ -442,9 +490,9 @@ class TestPragmas:
         assert "R6" not in fired
 
 
-@pytest.mark.parametrize("rule_id", sorted(f"R{i}" for i in range(1, 9)))
+@pytest.mark.parametrize("rule_id", sorted(f"R{i}" for i in range(1, 10)))
 def test_every_rule_has_a_firing_fixture(rule_id):
-    """Meta-test: the fixtures above collectively exercise all eight rules."""
+    """Meta-test: the fixtures above collectively exercise all nine rules."""
     fixtures = {
         "R1": ("vals = list({1, 2, 3})\n", SRC),
         "R2": ("ok = x == 0.5\n", SRC),
@@ -458,6 +506,10 @@ def test_every_rule_has_a_firing_fixture(rule_id):
         "R6": ("def f(a=[]):\n    return a\n", SRC),
         "R7": ("try:\n    x()\nexcept:\n    raise\n", SRC),
         "R8": ("import numpy as np\nm = np.mean(w)\n", "src/repro/core/pipeline.py"),
+        "R9": (
+            "import time\nnow = time.time()\n",
+            "src/repro/ingest/frontier.py",
+        ),
     }
     source, relpath = fixtures[rule_id]
     assert rule_id in {v.rule for v in analyze_source(source, relpath)}
