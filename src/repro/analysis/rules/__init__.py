@@ -15,6 +15,7 @@ from .nandiscipline import NanDisciplineRule
 from .ordering import UnorderedIterationRule
 from .parallel_dispatch import ParallelDispatchRule
 from .randomness import ModuleRandomStateRule
+from .sharedmemory import SharedMemoryLifecycleRule
 from .wallclock import WallClockRule
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -27,6 +28,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SwallowedExceptionRule(),
     NanDisciplineRule(),
     IngestClockRule(),
+    SharedMemoryLifecycleRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

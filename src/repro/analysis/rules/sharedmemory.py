@@ -1,0 +1,175 @@
+"""R10 — shared-memory segments must close (and unlink) on a finally path.
+
+``multiprocessing.shared_memory.SharedMemory`` is an OS resource, not a
+Python object: dropping the last reference leaks the file descriptor and —
+for created segments — the ``/dev/shm`` backing file itself, which outlives
+the process.  An exception between ``SharedMemory(...)`` and the cleanup
+call turns every crash into a leak, so the cleanup must sit on a
+``finally`` path.  Created segments additionally need ``unlink()`` (close
+alone only drops this process's mapping).
+
+The rule is deliberately conservative (like every rule here): it only
+fires when a segment is provably *locally owned* — bound to a plain local
+name that never escapes the function.  A segment stored into an attribute,
+container, or passed to another call has transferred ownership to a
+lifecycle the AST cannot see (e.g. a pool's slot table that is torn down
+in the pool's own ``shutdown`` finally), and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, dotted_name, iter_scopes
+
+
+def _is_shared_memory_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = dotted_name(node.func)
+    return dotted is not None and (
+        dotted == "SharedMemory" or dotted.endswith(".SharedMemory")
+    )
+
+
+def _creates_segment(node: ast.Call) -> bool:
+    return any(
+        keyword.arg == "create"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in node.keywords
+    )
+
+
+def _walk_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _is_cleanup_call(node: ast.Call, name: str) -> str | None:
+    """``"close"``/``"unlink"`` when node is ``<name>.close()``-style."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in ("close", "unlink")
+        and isinstance(func.value, ast.Name)
+        and func.value.id == name
+    ):
+        return func.attr
+    return None
+
+
+def _uses_bare(root: ast.AST, name: str) -> bool:
+    """True when the segment *object itself* appears in ``root``.
+
+    ``shm.buf`` / ``shm.name`` reads (Attribute/Subscript access on the
+    name) do not count — handing out a view of the buffer does not
+    transfer ownership of the close/unlink obligation, while handing out
+    the object itself (``slots[i] = shm``, ``Slot(shm)``) does.
+    """
+    if isinstance(root, ast.Name) and root.id == name:
+        return True
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            if not (isinstance(child, ast.Name) and child.id == name):
+                continue
+            if (
+                isinstance(parent, (ast.Attribute, ast.Subscript))
+                and parent.value is child
+            ):
+                continue  # attribute/element access, not the object
+            return True
+    return False
+
+
+def _escapes(body: list[ast.stmt], name: str) -> bool:
+    """True when ``name`` leaves the scope: returned, yielded, stored into
+    an attribute/container, aliased, or passed to any non-cleanup call."""
+    for node in _walk_scope(body):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _uses_bare(node.value, name):
+                return True
+        elif isinstance(node, ast.Assign):
+            if _is_shared_memory_call(node.value):
+                if any(
+                    not isinstance(target, ast.Name) for target in node.targets
+                ):
+                    return True  # bound straight into attribute/subscript
+            elif _uses_bare(node.value, name):
+                return True  # aliased or wrapped — ownership is ambiguous
+        elif isinstance(node, ast.Call):
+            if _is_cleanup_call(node, name) is not None:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _uses_bare(arg, name):
+                    return True
+    return False
+
+
+def _finally_cleanups(body: list[ast.stmt], name: str) -> set[str]:
+    """Cleanup methods called on ``name`` inside any ``finally`` block."""
+    found: set[str] = set()
+    for node in _walk_scope(body):
+        if not isinstance(node, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    method = _is_cleanup_call(sub, name)
+                    if method is not None:
+                        found.add(method)
+    return found
+
+
+class SharedMemoryLifecycleRule(Rule):
+    rule_id = "R10"
+    title = "SharedMemory without close()/unlink() on a finally path"
+    rationale = (
+        "a shared-memory segment is an OS resource; without cleanup on a "
+        "finally path, any exception leaks the mapping — and for created "
+        "segments the /dev/shm backing file, which outlives the process"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.in_tests
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for _scope, body in iter_scopes(ctx.tree):
+            bindings: list[tuple[str, ast.Call]] = []
+            for node in _walk_scope(body):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and _is_shared_memory_call(node.value)
+                ):
+                    assert isinstance(node.value, ast.Call)
+                    bindings.append((node.targets[0].id, node.value))
+            for name, call in bindings:
+                if _escapes(body, name):
+                    continue
+                cleanups = _finally_cleanups(body, name)
+                if "close" not in cleanups:
+                    yield self.violation(
+                        ctx,
+                        call,
+                        f"SharedMemory bound to local '{name}' has no "
+                        f"{name}.close() in a finally block; an exception "
+                        "here leaks the mapping",
+                    )
+                elif _creates_segment(call) and "unlink" not in cleanups:
+                    yield self.violation(
+                        ctx,
+                        call,
+                        f"created SharedMemory '{name}' has no "
+                        f"{name}.unlink() in a finally block; the /dev/shm "
+                        "segment would outlive the process",
+                    )

@@ -87,6 +87,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for offline detection (-1 = all CPUs); "
         "results are identical for any job count",
     )
+    detect.add_argument(
+        "--engine",
+        choices=("fast", "delta", "reference"),
+        default="fast",
+        help="per-round pipeline: fast (incremental correlation), delta "
+        "(fast plus round-over-round TSG maintenance), or reference "
+        "(readable dict-based path); outputs are identical",
+    )
+    detect.add_argument(
+        "--louvain-verify",
+        type=int,
+        default=0,
+        help="delta engine: warm-start Louvain and verify against a cold "
+        "run every V rounds; 0 (default) runs cold every round",
+    )
 
     run = commands.add_parser(
         "run", help="stream a dataset through StreamingCAD, optionally supervised"
@@ -168,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="absorb redelivered (sensor, seq) envelopes idempotently",
     )
+    run.add_argument(
+        "--engine",
+        choices=("fast", "delta", "reference"),
+        default="fast",
+        help="per-round pipeline: fast (incremental correlation), delta "
+        "(fast plus round-over-round TSG maintenance), or reference "
+        "(readable dict-based path); outputs are identical",
+    )
 
     compare = commands.add_parser("compare", help="compare methods on a dataset")
     compare.add_argument("--dataset", required=True, choices=dataset_names())
@@ -221,6 +244,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         theta=theta,
         allow_missing=allow_missing,
         n_jobs=args.jobs,
+        engine=args.engine,
+        louvain_verify=args.louvain_verify,
     )
     test = data.test
     if args.fault_rate > 0.0:
@@ -281,6 +306,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         data.n_sensors,
         k=data.recommended_k,
         allow_missing=allow_missing,
+        engine=args.engine,
     )
     test_values = data.test.values
     if args.fault_rate > 0.0:

@@ -49,16 +49,20 @@ class CheckpointError(ValueError):
         self.reason = reason
 
 #: Bump when the checkpoint layout changes; loaders reject unknown versions.
-#: Version 2 added the fast engine's rolling-correlation kernel state.
-CHECKPOINT_VERSION = 2
+#: Version 2 added the fast engine's rolling-correlation kernel state;
+#: version 3 added the delta engine's TSG candidate cache and warm-start
+#: Louvain bookkeeping.
+CHECKPOINT_VERSION = 3
 
 #: Versions :func:`load_checkpoint` can read.  Version-1 files (written
 #: before the fast engine existed) migrate on load: they carry no kernel
 #: state and no ``engine``/``corr_refresh``/``n_jobs`` config keys, and are
 #: pinned to ``engine="reference"`` — the only engine that existed when they
 #: were written — so a resumed stream replays the exact pipeline that
-#: produced the checkpoint.
-SUPPORTED_VERSIONS = (1, CHECKPOINT_VERSION)
+#: produced the checkpoint.  Version-2 files predate the delta engine; they
+#: carry no delta state, which is legal (the builder re-ranks from scratch
+#: on its first resumed round — exact, just not a resumed cache).
+SUPPORTED_VERSIONS = (1, 2, CHECKPOINT_VERSION)
 
 _FORMAT = "repro-streaming-cad"
 
@@ -76,7 +80,9 @@ def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
     detector = state["detector"]
     tracker = detector["tracker"]
     moments = detector["moments"]
-    kernel = (detector.get("pipeline") or {}).get("kernel")
+    pipeline = detector.get("pipeline") or {}
+    kernel = pipeline.get("kernel")
+    delta = pipeline.get("delta")
 
     meta = {
         "format": _FORMAT,
@@ -96,7 +102,18 @@ def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
         "samples_seen": state["samples_seen"],
         "next_round_end": state["next_round_end"],
         "has_kernel": kernel is not None,
+        "has_delta": delta is not None,
     }
+    if delta is not None:
+        builder = delta["builder"]
+        meta["delta"] = {
+            "k": builder["k"],
+            "tau": builder["tau"],
+            "has_members": builder["members"] is not None,
+            "has_warm_labels": delta["warm_labels"] is not None,
+            "warm_trusted": bool(delta["warm_trusted"]),
+            "verify_counter": int(delta["verify_counter"]),
+        }
     if kernel is not None:
         # Scalars ride in JSON; the float arrays go into the npz below so
         # the kernel resumes bit-identically (incremental sums included).
@@ -137,6 +154,15 @@ def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
     if kernel is not None:
         for name in meta["kernel"]["arrays"]:
             arrays[f"kernel_{name}"] = np.asarray(kernel[name], dtype=np.float64)
+    if delta is not None:
+        if delta["builder"]["members"] is not None:
+            arrays["delta_members"] = np.asarray(
+                delta["builder"]["members"], dtype=bool
+            )
+        if delta["warm_labels"] is not None:
+            arrays["delta_warm_labels"] = np.asarray(
+                delta["warm_labels"], dtype=np.int64
+            )
 
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
@@ -217,6 +243,9 @@ def _read_checkpoint(path: str | Path) -> StreamingCAD:
             config.setdefault("engine", "reference")
             config.setdefault("corr_refresh", 1)
             config.setdefault("n_jobs", 1)
+        if version < 3:
+            # v3 added the delta engine's verification knob.
+            config.setdefault("louvain_verify", 0)
 
         mean, m2 = (float(v) for v in archive["moment_values"])
         history_len = int(meta["tracker_history_len"])
@@ -244,6 +273,28 @@ def _read_checkpoint(path: str | Path) -> StreamingCAD:
                     if name in kernel_meta["arrays"]
                     else None
                 )
+        delta_state = None
+        if meta.get("has_delta"):
+            delta_meta = meta["delta"]
+            delta_state = {
+                "builder": {
+                    "n_sensors": meta["n_sensors"],
+                    "k": delta_meta["k"],
+                    "tau": delta_meta["tau"],
+                    "members": (
+                        archive["delta_members"]
+                        if delta_meta["has_members"]
+                        else None
+                    ),
+                },
+                "warm_labels": (
+                    archive["delta_warm_labels"]
+                    if delta_meta["has_warm_labels"]
+                    else None
+                ),
+                "warm_trusted": delta_meta["warm_trusted"],
+                "verify_counter": delta_meta["verify_counter"],
+            }
         state = {
             "detector": {
                 "config": config,
@@ -269,7 +320,7 @@ def _read_checkpoint(path: str | Path) -> StreamingCAD:
                         archive["tracker_last_rc"] if meta["has_last_rc"] else None
                     ),
                 },
-                "pipeline": {"kernel": kernel_state},
+                "pipeline": {"kernel": kernel_state, "delta": delta_state},
             },
             "samples_seen": meta["samples_seen"],
             "next_round_end": meta["next_round_end"],

@@ -95,6 +95,16 @@ class StreamingCAD:
         self._end = 0  # columns [0:_end) hold the most recent samples
         self._samples_seen = 0
         self._next_round_end = config.window
+        # Round-assembly buffers: each completed round hands the detector a
+        # stable copy of its window.  Two buffers alternate instead of one
+        # allocation per round because the fast/delta kernel keeps the
+        # *previous* round's window by reference for its overlap check —
+        # round r+1 must not overwrite the array round r handed over.
+        self._round_buffers = (
+            np.empty((n_sensors, config.window)),
+            np.empty((n_sensors, config.window)),
+        )
+        self._round_flip = 0
 
     @property
     def detector(self) -> CAD:
@@ -130,6 +140,10 @@ class StreamingCAD:
             raise ValueError(
                 f"expected sample of {self._n_sensors} readings, got {sample.shape}"
             )
+        self._validate_sample(sample)
+        return self._ingest(sample)
+
+    def _validate_sample(self, sample: np.ndarray) -> None:
         infinite = np.isinf(sample)
         if infinite.any():
             raise InvalidSampleError(
@@ -143,6 +157,8 @@ class StreamingCAD:
                 "reading is NaN; set CADConfig(allow_missing=True) to "
                 "stream degraded data",
             )
+
+    def _ingest(self, sample: np.ndarray) -> RoundRecord | None:
         if self._end == self._capacity:
             # Slide: only the last window - 1 columns can still be part of a
             # future window once this sample lands.
@@ -157,8 +173,12 @@ class StreamingCAD:
 
         # Copied, not a view: the buffer compacts in place when it fills,
         # and the fast engine's kernel keeps the previous round's window by
-        # reference for its overlap check.
-        window = self._buffer[:, self._end - self._config.window : self._end].copy()
+        # reference for its overlap check.  The copy lands in one of two
+        # preallocated buffers (alternating because of that held reference)
+        # instead of a fresh allocation per round.
+        window = self._round_buffers[self._round_flip]
+        self._round_flip ^= 1
+        np.copyto(window, self._buffer[:, self._end - self._config.window : self._end])
         record = self._detector.process_window(window)
         self._next_round_end += self._config.step
         return record
@@ -175,10 +195,20 @@ class StreamingCAD:
             raise ValueError(
                 f"expected ({self._n_sensors}, t) block, got shape {samples.shape}"
             )
+        # One vectorised sweep over the whole block replaces a per-column
+        # isinf/isnan pass; columns the sweep clears skip validation
+        # entirely, and a flagged column goes back through the scalar
+        # validator so it raises the exact per-sensor InvalidSampleError
+        # (inf checked before NaN) the one-at-a-time path would.
+        suspect = np.isinf(samples).any(axis=0)
+        if not self._config.allow_missing:
+            suspect |= np.isnan(samples).any(axis=0)
         records: list[RoundRecord] = []
         for index, column in enumerate(samples.T):
             try:
-                record = self.push(column)
+                if suspect[index]:
+                    self._validate_sample(column)
+                record = self._ingest(column)
             except Exception as exc:
                 raise PushError(index, records, exc) from exc
             if record is not None:

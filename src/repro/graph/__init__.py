@@ -9,6 +9,7 @@ from .csr import (
     tsg_csr,
     tsg_edge_arrays,
 )
+from .delta import DeltaTSGBuilder
 from .graph import Graph
 from .knn import absolute_weight_graph, knn_graph, prune_weak_edges
 from .label_propagation import label_propagation
@@ -32,4 +33,5 @@ __all__ = [
     "absolute_weight_graph",
     "tsg_csr",
     "tsg_edge_arrays",
+    "DeltaTSGBuilder",
 ]

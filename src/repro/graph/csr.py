@@ -41,7 +41,7 @@ class CSRGraph:
     columns sorted ascending.  Rows are vertices ``0 .. n_vertices - 1``.
     """
 
-    __slots__ = ("n_vertices", "indptr", "indices", "weights")
+    __slots__ = ("n_vertices", "indptr", "indices", "weights", "_degrees", "_total")
 
     def __init__(
         self, n_vertices: int, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray
@@ -52,6 +52,8 @@ class CSRGraph:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
         self.weights = np.asarray(weights, dtype=np.float64)
+        self._degrees: np.ndarray | None = None
+        self._total: float | None = None
         if self.indptr.shape != (n_vertices + 1,):
             raise ValueError(f"indptr must have length {n_vertices + 1}")
         if self.indices.shape != self.weights.shape:
@@ -98,13 +100,42 @@ class CSRGraph:
         return self.indices.size // 2
 
     def total_weight(self) -> float:
-        """Sum of edge weights, each undirected edge counted once."""
-        return float(self.weights.sum()) / 2.0
+        """Sum of edge weights, each undirected edge counted once.
+
+        Cached after the first call — the graph is immutable, and per-round
+        pipelines (modularity, Louvain level setup, co-appearance hooks) ask
+        repeatedly.
+        """
+        if self._total is None:
+            self._total = float(self.weights.sum()) / 2.0
+        return self._total
 
     def weighted_degrees(self) -> np.ndarray:
-        """Per-vertex sum of incident edge weights, as an ``(n,)`` array."""
-        rows = np.repeat(np.arange(self.n_vertices), np.diff(self.indptr))
-        return np.bincount(rows, weights=self.weights, minlength=self.n_vertices)
+        """Per-vertex sum of incident edge weights, as an ``(n,)`` array.
+
+        Cached after the first call; treat the returned array as read-only.
+        The graph is immutable — code that patches CSR arrays (the delta TSG
+        builder) always constructs a *new* :class:`CSRGraph`, so a fresh
+        instance (with empty caches) is the invalidation protocol.  Anything
+        that mutates the arrays of a live instance in place must call
+        :meth:`invalidate_caches` afterwards.
+        """
+        if self._degrees is None:
+            rows = np.repeat(np.arange(self.n_vertices), np.diff(self.indptr))
+            self._degrees = np.bincount(
+                rows, weights=self.weights, minlength=self.n_vertices
+            )
+        return self._degrees
+
+    def invalidate_caches(self) -> None:
+        """Drop cached degree/weight reductions after an in-place edit.
+
+        The supported protocol is immutability (build a new graph instead of
+        editing one), but this hook keeps the caches sound for code that
+        must patch arrays in place.
+        """
+        self._degrees = None
+        self._total = None
 
     def absolute(self) -> "CSRGraph":
         """Copy with absolute weights (Louvain needs non-negative input)."""
@@ -165,7 +196,7 @@ def tsg_csr(corr: np.ndarray, k: int, tau: float) -> CSRGraph:
 class _CSRLevel:
     """One Louvain pass's working graph (mirrors ``louvain._Level``)."""
 
-    __slots__ = ("indptr", "indices", "weights", "self_weight", "degree", "two_m")
+    __slots__ = ("indptr", "indices", "weights", "self_weight", "rows", "degree", "two_m")
 
     def __init__(
         self,
@@ -179,8 +210,10 @@ class _CSRLevel:
         self.weights = weights
         self.self_weight = self_weight
         n = self_weight.size
-        rows = np.repeat(np.arange(n), np.diff(indptr))
-        row_sums = np.bincount(rows, weights=weights, minlength=n)
+        # Kept around: the static mover scan regroups edges by (row, label)
+        # every call, and rebuilding the row index there would dominate it.
+        self.rows = np.repeat(np.arange(n), np.diff(indptr))
+        row_sums = np.bincount(self.rows, weights=weights, minlength=n)
         self.degree = row_sums + 2.0 * self_weight
         self.two_m = float(self.degree.sum())
 
@@ -189,83 +222,289 @@ class _CSRLevel:
         return self.self_weight.size
 
 
+#: Mover-count ceiling for the scan-driven jump pass.  Each jumped move
+#: pays a fresh static scan (a numpy sort over E edges), so beyond a few
+#: movers one full Python sweep is cheaper than the rescans.
+_SPARSE_JUMP_MAX = 3
+
+#: Below this many vertices the pure-Python sweep is faster than any scan
+#: (numpy dispatch alone outweighs the loop), so aggregated Louvain levels
+#: — typically a handful of super-vertices — never pay scan overhead.
+_SCAN_MIN_VERTICES = 64
+
+#: Up to this many vertices the mover scan regroups edges through a dense
+#: (n, n) scratch (bincount over flat keys) instead of sorting them with
+#: ``np.unique`` — cheaper while n^2 stays cache-sized.
+_DENSE_SCAN_MAX = 128
+
+
+def _static_mover_scan(
+    level: _CSRLevel,
+    labels: list[int],
+    community_degree: list[float],
+    resolution: float,
+    min_gain: float,
+) -> np.ndarray:
+    """Vertices the sequential sweep would move *at the current state*.
+
+    Bitwise-faithful to the Python evaluation in :func:`_one_level_csr`:
+    per-(vertex, candidate) link sums accumulate in the same order (CSR
+    columns are ascending and ``np.bincount`` adds sequentially in input
+    order, exactly like the dict accumulation), and the gain expression
+    applies the same operations in the same order.  A vertex moves on its
+    sequential evaluation iff *some* candidate's gain exceeds
+    ``0.0 + min_gain`` — the first acceptance of the sequential loop — so
+    move/no-move is decided here without replaying the tie-break; the
+    mover's target label is left to the exact sequential evaluation.
+
+    Because evaluating a non-mover has no side effects (see the evaluator),
+    every vertex this scan clears can be skipped outright: the sweep state
+    provably does not change until the first flagged vertex.
+    """
+    n = level.n
+    labels_arr = np.asarray(labels, dtype=np.int64)
+    cd = np.asarray(community_degree, dtype=np.float64)
+    keys = level.rows * np.int64(n) + labels_arr[level.indices]
+    deg = level.degree
+    if n <= _DENSE_SCAN_MAX:
+        # Dense regrouping: bincount over flat (vertex, label) keys sums the
+        # same weights in the same sequential input order as the sparse
+        # unique/inverse path, so every link sum is bitwise identical; a
+        # separate presence mask distinguishes absent pairs from pairs whose
+        # weights sum to zero.
+        link = np.bincount(keys, weights=level.weights, minlength=n * n)
+        present = np.zeros(n * n, dtype=bool)
+        present[keys] = True
+        link_mat = link.reshape(n, n)
+        arange = np.arange(n)
+        own_links = link_mat[arange, labels_arr]
+        removed = cd[labels_arr] - deg
+        base = own_links - resolution * deg * removed / level.two_m
+        gain = (link_mat - resolution * deg[:, None] * cd[None, :] / level.two_m) - base[:, None]
+        hot = present.reshape(n, n) & (gain > min_gain)
+        hot[arange, labels_arr] = False
+        movers: np.ndarray = hot.any(axis=1)
+        return movers
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    link_sum = np.bincount(inverse, weights=level.weights, minlength=unique_keys.size)
+    gsrc = unique_keys // n
+    glab = unique_keys % n
+    own = glab == labels_arr[gsrc]
+    own_links = np.zeros(n, dtype=np.float64)
+    own_links[gsrc[own]] = link_sum[own]
+    removed = cd[labels_arr] - deg
+    base = own_links - resolution * deg * removed / level.two_m
+    gain = (link_sum - resolution * deg[gsrc] * cd[glab] / level.two_m) - base[gsrc]
+    movers = np.zeros(n, dtype=bool)
+    hot = ~own & (gain > min_gain)
+    movers[gsrc[hot]] = True
+    return movers
+
+
 def _one_level_csr(
-    level: _CSRLevel, resolution: float, min_gain: float
+    level: _CSRLevel,
+    resolution: float,
+    min_gain: float,
+    init_labels: np.ndarray | None = None,
 ) -> tuple[np.ndarray, bool]:
     """One local-moving pass; mirrors ``louvain._one_level`` decision flow.
 
     The sweep is inherently sequential (each move feeds the next vertex's
     gains), so per-vertex numpy calls would pay ~100x their arithmetic in
-    dispatch overhead.  The hot loop instead runs on flat Python lists
-    extracted once per level — same asymptotics as the dict path but
-    without per-round graph-of-dicts construction.
+    dispatch overhead.  Dense movement (the first sweep's cascade) runs on
+    flat Python lists extracted once per level.  Once movement thins, a
+    vectorised static scan (:func:`_static_mover_scan`) finds the few
+    vertices that can still move and the sweep jumps straight between them,
+    skipping the converged majority — and the final would-be confirmation
+    sweep collapses to one scan.  Both paths take identical decisions, so
+    the hybrid is exactly the sequential sweep, only faster.
+
+    Enabling invariant: evaluating a vertex that does *not* move leaves
+    ``community_degree`` untouched (the remove-from-own-community step is
+    computed on a scratch value and only written back on an actual move).
+    The classic formulation's ``-= deg`` / ``+= deg`` round trip would
+    perturb the entry by ~1 ulp per evaluation; dropping it both makes
+    non-mover evaluations skippable and removes float noise.  Relative to
+    the dict path this shifts intermediates by at most the same ~1 ulp the
+    module docstring already budgets for.
+
+    ``init_labels`` warm-starts the pass from an existing partition instead
+    of singletons (Louvain warm start; see :func:`louvain_labels_csr`).
     """
     n = level.n
-    labels = list(range(n))
-    community_degree = level.degree.tolist()
-    degree = level.degree.tolist()
     two_m = level.two_m
     if two_m <= 0:
+        if init_labels is not None:
+            return np.asarray(init_labels, dtype=np.int64).copy(), False
         return np.arange(n, dtype=np.int64), False
+    if init_labels is None:
+        labels = list(range(n))
+        community_degree = level.degree.tolist()
+    else:
+        labels = [int(label) for label in init_labels]
+        community_degree = np.bincount(
+            np.asarray(init_labels, dtype=np.int64),
+            weights=level.degree,
+            minlength=n,
+        ).tolist()
+    degree = level.degree.tolist()
 
     # Per-vertex (neighbour, weight) pair lists, built once per level —
-    # sweeps revisit every vertex, so the extraction amortises immediately.
+    # dense sweeps revisit every vertex, so the extraction amortises
+    # immediately.
     indptr = level.indptr.tolist()
     pairs = list(zip(level.indices.tolist(), level.weights.tolist()))
     adjacency = [pairs[indptr[v] : indptr[v + 1]] for v in range(n)]
 
-    improved_any = False
-    moved = True
-    while moved:
-        moved = False
-        for v in range(n):
-            neighbors = adjacency[v]
-            if not neighbors:
-                continue
-            old = labels[v]
-            links: dict[int, float] = {}
-            # CSR columns are sorted, so accumulation order per label is
-            # ascending neighbour index — the same order ``np.bincount``
-            # would add them in.  (The explicit membership test beats both
-            # dict.get and try/except: early sweeps miss constantly, and
-            # CPython specialises the contains + subscript pair.)
-            for u, w in neighbors:
-                label = labels[u]
-                if label in links:
-                    links[label] += w
-                else:
-                    links[label] = w
+    def evaluate(v: int) -> bool:
+        """The exact sequential evaluation of one vertex; True iff it moved."""
+        neighbors = adjacency[v]
+        if not neighbors:
+            return False
+        old = labels[v]
+        links: dict[int, float] = {}
+        # CSR columns are sorted, so accumulation order per label is
+        # ascending neighbour index — the same order ``np.bincount``
+        # would add them in.  (The explicit membership test beats both
+        # dict.get and try/except: early sweeps miss constantly, and
+        # CPython specialises the contains + subscript pair.)
+        for u, w in neighbors:
+            label = labels[u]
+            if label in links:
+                links[label] += w
+            else:
+                links[label] = w
 
-            deg_v = degree[v]
-            community_degree[old] -= deg_v
-            base = links.get(old, 0.0) - resolution * deg_v * community_degree[old] / two_m
-            best_label = old
-            best_gain = 0.0
-            # Sorted candidates + strict min_gain beat: the dict tie-break.
-            # One-candidate dicts (converged interiors) skip the sort.
-            candidates = links if len(links) == 1 else sorted(links)
-            for label in candidates:
-                if label == old:
+        deg_v = degree[v]
+        removed = community_degree[old] - deg_v
+        base = links.get(old, 0.0) - resolution * deg_v * removed / two_m
+        best_label = old
+        best_gain = 0.0
+        # Sorted candidates + strict min_gain beat: the dict tie-break.
+        # One-candidate dicts (converged interiors) skip the sort.
+        candidates = links if len(links) == 1 else sorted(links)
+        for label in candidates:
+            if label == old:
+                continue
+            gain = (
+                links[label]
+                - resolution * deg_v * community_degree[label] / two_m
+            ) - base
+            if gain > best_gain + min_gain:
+                best_gain = gain
+                best_label = label
+        if best_label == old:
+            return False
+        community_degree[old] = removed
+        community_degree[best_label] += deg_v
+        labels[v] = best_label
+        return True
+
+    improved_any = False
+    # Driver: dense movement (a cold start's first sweeps) runs as plain
+    # inline Python sweeps — a scan is wasted work while most vertices
+    # still move.  Once a sweep's movement falls below ~n/3 the cascade is
+    # over, and the scan takes the wheel: it either proves convergence
+    # outright (replacing the would-be confirmation sweep), hands a
+    # handful of movers to the jump pass, or sends the sweep back out.
+    # Warm inits skip straight to the scan — they rarely move at all.
+    # Scanning earlier or later never affects the result, only the cost:
+    # sweeps and jumps take bitwise-identical decisions.
+    use_scans = n >= _SCAN_MIN_VERTICES
+    dense_cutoff = n // 3
+    next_action = "sweep" if init_labels is None else "scan"
+    while True:
+        if not use_scans or next_action == "sweep":
+            # The sweep is `evaluate` inlined: per-vertex function calls
+            # cost ~15% of the whole level at bench sizes.
+            moves = 0
+            for v in range(n):
+                neighbors = adjacency[v]
+                if not neighbors:
                     continue
-                gain = (
-                    links[label]
-                    - resolution * deg_v * community_degree[label] / two_m
-                ) - base
-                if gain > best_gain + min_gain:
-                    best_gain = gain
-                    best_label = label
-            community_degree[best_label] += deg_v
-            if best_label != old:
-                labels[v] = best_label
-                moved = True
-                improved_any = True
+                old = labels[v]
+                links = {}
+                for u, w in neighbors:
+                    label = labels[u]
+                    if label in links:
+                        links[label] += w
+                    else:
+                        links[label] = w
+                deg_v = degree[v]
+                removed = community_degree[old] - deg_v
+                base = links.get(old, 0.0) - resolution * deg_v * removed / two_m
+                best_label = old
+                best_gain = 0.0
+                candidates = links if len(links) == 1 else sorted(links)
+                for label in candidates:
+                    if label == old:
+                        continue
+                    gain = (
+                        links[label]
+                        - resolution * deg_v * community_degree[label] / two_m
+                    ) - base
+                    if gain > best_gain + min_gain:
+                        best_gain = gain
+                        best_label = label
+                if best_label != old:
+                    community_degree[old] = removed
+                    community_degree[best_label] += deg_v
+                    labels[v] = best_label
+                    moves += 1
+            if moves == 0:
+                break  # a full sweep with no moves: the level converged
+            improved_any = True
+            if use_scans and moves <= dense_cutoff:
+                next_action = "scan"
+            continue
+        movers = _static_mover_scan(level, labels, community_degree, resolution, min_gain)
+        mover_list = np.flatnonzero(movers)
+        if mover_list.size == 0:
+            break  # nothing can move: the next sweep would confirm this
+        if mover_list.size > _SPARSE_JUMP_MAX:
+            next_action = "sweep"  # too many movers for per-move rescans
+            continue
+        # Jump pass: evaluate flagged vertices in ascending order — the
+        # exact order the sequential sweep reaches them — rescanning after
+        # each move because a move invalidates the certificate.  A flagged
+        # vertex evaluated at the certifying state always moves.
+        position = 0
+        densified = False
+        while True:
+            at = int(np.searchsorted(mover_list, position))
+            if at == mover_list.size:
+                break  # pass wrapped; the outer loop rescans from vertex 0
+            v = int(mover_list[at])
+            evaluate(v)
+            improved_any = True
+            position = v + 1
+            if position >= n:
+                break
+            movers = _static_mover_scan(
+                level, labels, community_degree, resolution, min_gain
+            )
+            mover_list = np.flatnonzero(movers)
+            if mover_list.size > _SPARSE_JUMP_MAX:
+                # Movement re-densified mid-pass: finish this pass exactly
+                # with a partial sweep, then fall back to dense sweeps.
+                for u in range(position, n):
+                    if evaluate(u):
+                        improved_any = True
+                densified = True
+                break
+        next_action = "sweep" if densified else "scan"
     return np.asarray(labels, dtype=np.int64), improved_any
+
+
+#: Aggregated levels at or below this vertex count take the dense merge
+#: path in :func:`_aggregate_csr` (O(n_new^2) scratch instead of a sort).
+_DENSE_AGGREGATE_MAX = 64
 
 
 def _aggregate_csr(level: _CSRLevel, labels: np.ndarray) -> _CSRLevel:
     """Condense communities into super-vertices (mirrors ``louvain._aggregate``)."""
     n_new = int(labels.max()) + 1
-    rows = np.repeat(np.arange(level.n), np.diff(level.indptr))
+    rows = level.rows
     upper = level.indices > rows  # each undirected edge once
     cv = labels[rows[upper]]
     cu = labels[level.indices[upper]]
@@ -280,6 +519,28 @@ def _aggregate_csr(level: _CSRLevel, labels: np.ndarray) -> _CSRLevel:
     lo = np.minimum(a, b)
     hi = np.maximum(a, b)
     key = lo * np.int64(n_new) + hi
+    if n_new <= _DENSE_AGGREGATE_MAX:
+        # Dense merge: bincount over flat (lo, hi) keys accumulates the
+        # merged weights sequentially in input order — the same additions
+        # in the same order as the sparse unique/inverse path — and a
+        # separate presence mask keeps edges whose weights merge to 0.0.
+        # Row-major np.nonzero of the symmetric presence mask enumerates
+        # each row's columns ascending, which is CSRGraph's layout, so no
+        # lexsort is paid.
+        merged_flat = np.bincount(key, weights=wi, minlength=n_new * n_new)
+        present = np.zeros(n_new * n_new, dtype=bool)
+        present[key] = True
+        present_mat = present.reshape(n_new, n_new)
+        sym = present_mat | present_mat.T
+        indptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(sym.sum(axis=1), out=indptr[1:])
+        indices = np.nonzero(sym)[1]
+        merged_mat = merged_flat.reshape(n_new, n_new)
+        rows_u, cols_u = np.nonzero(present_mat)
+        wmat = np.zeros((n_new, n_new), dtype=np.float64)
+        wmat[rows_u, cols_u] = merged_mat[rows_u, cols_u]
+        wmat[cols_u, rows_u] = merged_mat[rows_u, cols_u]
+        return _CSRLevel(indptr, indices, wmat[sym], self_weight)
     unique_keys, inverse = np.unique(key, return_inverse=True)
     merged = np.bincount(inverse, weights=wi) if unique_keys.size else np.zeros(0)
     csr = CSRGraph.from_edges(
@@ -297,7 +558,10 @@ def _compact_labels_array(labels: np.ndarray) -> np.ndarray:
 
 
 def louvain_labels_csr(
-    graph: CSRGraph, resolution: float = 1.0, min_gain: float = 1e-9
+    graph: CSRGraph,
+    resolution: float = 1.0,
+    min_gain: float = 1e-9,
+    init_labels: np.ndarray | None = None,
 ) -> np.ndarray:
     """Louvain community labels on a CSR graph (no modularity computation).
 
@@ -305,6 +569,14 @@ def louvain_labels_csr(
     equivalent dict graph (see the module docstring for the float-ordering
     caveat).  The per-round fast pipeline uses this entry point because
     :class:`~repro.core.result.RoundRecord` never stores modularity.
+
+    ``init_labels`` warm-starts level 0 from an existing partition (e.g.
+    the previous round's labels) instead of singletons.  Warm starts can
+    land on a *different* local optimum than a cold run — callers that need
+    cold-identical output must verify (see ``CADConfig.louvain_verify``).
+    A warm level 0 that makes no moves still aggregates once: the seed
+    partition itself may be coarsenable even when no single vertex move
+    improves it.
     """
     if (graph.weights < 0).any():
         bad = int(np.argmax(graph.weights < 0))
@@ -316,12 +588,23 @@ def louvain_labels_csr(
     level = _CSRLevel(
         graph.indptr, graph.indices, graph.weights, np.zeros(n, dtype=np.float64)
     )
+    init: np.ndarray | None = None
+    if init_labels is not None:
+        init = np.asarray(init_labels, dtype=np.int64)
+        if init.shape != (n,):
+            raise ValueError(
+                f"init_labels must have shape ({n},), got {init.shape}"
+            )
+        if init.size and (init.min() < 0 or init.max() >= n):
+            raise ValueError("init_labels entries must be existing vertex ids")
 
     while True:
-        labels, improved = _one_level_csr(level, resolution, min_gain)
+        warm = init is not None
+        labels, improved = _one_level_csr(level, resolution, min_gain, init)
+        init = None  # the warm partition only seeds level 0
         compact = _compact_labels_array(labels)
         membership = compact[membership]
-        if not improved:
+        if not improved and not warm:
             break
         level = _aggregate_csr(level, compact)
         if level.n <= 1:

@@ -69,6 +69,10 @@ class HealthSnapshot:
     watermark_lag:
         Rows currently held in the reorder buffer between the flush
         frontier and the newest observed row.
+    pool_generation:
+        Worker-pool respawn counter (0 when no pool has ever respawned a
+        dead worker).  Checkpointed alongside the stream, so the count
+        survives process restarts.
     """
 
     rounds_completed: int = 0
@@ -94,6 +98,7 @@ class HealthSnapshot:
     cells_nan_patched: int = 0
     rows_dropped: int = 0
     watermark_lag: int = 0
+    pool_generation: int = 0
 
     def to_dict(self) -> dict[str, object]:
         payload = asdict(self)

@@ -60,6 +60,7 @@ if TYPE_CHECKING:  # imported lazily to keep repro.ingest <-> runtime acyclic
     from ..ingest.frontier import IngestFrontier
 
 from ..core.config import CADConfig
+from ..core.parallel import pool_generation, restore_pool_generation
 from ..core.result import RoundRecord
 from ..core.streaming import PushError, StreamingCAD
 from ..timeseries.mts import MultivariateTimeSeries
@@ -399,6 +400,7 @@ class StreamSupervisor:
             cells_nan_patched=stats.nan_patched if stats is not None else 0,
             rows_dropped=stats.rows_dropped if stats is not None else 0,
             watermark_lag=stats.watermark_lag if stats is not None else 0,
+            pool_generation=pool_generation(),
         )
 
     # ----------------------------------------------------------------- #
@@ -549,6 +551,10 @@ class StreamSupervisor:
             "nan_counts": [int(v) for v in self._nan_counts],
             "segment_len": self._stream.samples_seen - self._segment_start,
             "max_emitted_index": self._max_emitted_index,
+            # The worker pool outlives crash recovery (workers are
+            # stateless between calls); only its respawn counter is
+            # persisted so post-restore health keeps counting upward.
+            "pool_generation": pool_generation(),
             "health": {
                 "rounds_completed": self._rounds_completed,
                 "degraded_rounds": self._degraded_rounds,
@@ -644,6 +650,7 @@ class StreamSupervisor:
         self._max_emitted_index = max(
             self._max_emitted_index, int(state.get("max_emitted_index", -1))
         )
+        restore_pool_generation(int(state.get("pool_generation", 0)))
 
     def _recover_and_replay(self, round_index: int, attempt: int) -> None:
         """Back off, restore the newest valid state, replay up to the

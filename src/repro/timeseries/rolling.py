@@ -103,6 +103,23 @@ class RollingCorrelation:
         """Number of ``update`` calls since construction or :meth:`reset`."""
         return self._round
 
+    @property
+    def next_update_is_anchor(self) -> bool:
+        """True when the *next* :meth:`update` falls on an exact-refresh round.
+
+        The delta TSG builder aligns its full re-ranks to this schedule.
+        Note it is a statement about the refresh *cadence* only — a dirty
+        or non-overlapping window can force an exact refresh on any round —
+        but cadence is all the delta engine needs: anchors guarantee a
+        from-scratch re-rank at least every ``refresh_every`` rounds, and
+        the separation certificate keeps off-anchor rounds exact on its
+        own.  (No per-row "changed correlation" bound is exported from the
+        rank-2 update: the normalisation couples every entry of the matrix
+        to the evicted/added columns, so any such bound would be all-rows
+        almost every round.)
+        """
+        return self._round % self.refresh_every == 0
+
     def reset(self) -> None:
         """Forget all state; the next update behaves like round 0."""
         self._baseline = None

@@ -468,6 +468,114 @@ class TestR9IngestClock:
         )
 
 
+class TestR10SharedMemoryLifecycle:
+    def test_attach_without_finally_close_flagged(self):
+        assert "R10" in rules_fired(
+            """
+            from multiprocessing import shared_memory
+
+            def read(name):
+                shm = shared_memory.SharedMemory(name=name)
+                value = float(shm.buf[0])
+                shm.close()
+                return value
+            """
+        )
+
+    def test_create_without_finally_unlink_flagged(self):
+        assert "R10" in rules_fired(
+            """
+            from multiprocessing import shared_memory
+
+            def stage(n):
+                shm = shared_memory.SharedMemory(name="slot", create=True, size=n)
+                try:
+                    shm.buf[0] = 1
+                finally:
+                    shm.close()
+            """
+        )
+
+    def test_close_and_unlink_in_finally_clean(self):
+        assert "R10" not in rules_fired(
+            """
+            from multiprocessing import shared_memory
+
+            def stage(n):
+                shm = shared_memory.SharedMemory(name="slot", create=True, size=n)
+                try:
+                    shm.buf[0] = 1
+                finally:
+                    try:
+                        shm.close()
+                    finally:
+                        shm.unlink()
+            """
+        )
+
+    def test_attach_with_finally_close_clean(self):
+        assert "R10" not in rules_fired(
+            """
+            from multiprocessing import shared_memory
+
+            def read(name):
+                shm = shared_memory.SharedMemory(name=name)
+                try:
+                    return float(shm.buf[0])
+                finally:
+                    shm.close()
+            """
+        )
+
+    def test_ownership_transfer_clean(self):
+        # Stored into a container: lifecycle belongs to the container's
+        # owner (e.g. a pool shutdown path), not this scope.
+        assert "R10" not in rules_fired(
+            """
+            from multiprocessing import shared_memory
+
+            def attach(slots, name):
+                shm = shared_memory.SharedMemory(name=name)
+                slots[name] = shm
+            """
+        )
+
+    def test_buffer_view_is_not_an_escape(self):
+        # Passing shm.buf out does NOT transfer the close obligation.
+        assert "R10" in rules_fired(
+            """
+            import numpy as np
+            from multiprocessing import shared_memory
+
+            def read(name, shape):
+                shm = shared_memory.SharedMemory(name=name)
+                arr = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+                total = float(arr.sum())
+                del arr
+                shm.close()
+                return total
+            """
+        )
+
+    def test_tests_are_out_of_scope(self):
+        assert "R10" not in rules_fired(
+            "from multiprocessing import shared_memory\n"
+            "def f(n):\n"
+            "    shm = shared_memory.SharedMemory(name=n)\n"
+            "    shm.close()\n",
+            "tests/test_pool.py",
+        )
+
+    def test_noqa_suppresses(self):
+        assert "R10" not in rules_fired(
+            "from multiprocessing import shared_memory\n"
+            "def f(n):\n"
+            "    shm = shared_memory.SharedMemory(name=n)  "
+            "# repro: noqa[R10] probe only\n"
+            "    shm.close()\n"
+        )
+
+
 class TestPragmas:
     def test_bare_noqa_suppresses_all_rules(self):
         assert (
@@ -490,9 +598,9 @@ class TestPragmas:
         assert "R6" not in fired
 
 
-@pytest.mark.parametrize("rule_id", sorted(f"R{i}" for i in range(1, 10)))
+@pytest.mark.parametrize("rule_id", sorted(f"R{i}" for i in range(1, 11)))
 def test_every_rule_has_a_firing_fixture(rule_id):
-    """Meta-test: the fixtures above collectively exercise all nine rules."""
+    """Meta-test: the fixtures above collectively exercise every rule."""
     fixtures = {
         "R1": ("vals = list({1, 2, 3})\n", SRC),
         "R2": ("ok = x == 0.5\n", SRC),
@@ -509,6 +617,15 @@ def test_every_rule_has_a_firing_fixture(rule_id):
         "R9": (
             "import time\nnow = time.time()\n",
             "src/repro/ingest/frontier.py",
+        ),
+        "R10": (
+            "from multiprocessing import shared_memory\n"
+            "def f(n):\n"
+            "    shm = shared_memory.SharedMemory(name=n)\n"
+            "    x = float(shm.buf[0])\n"
+            "    shm.close()\n"
+            "    return x\n",
+            SRC,
         ),
     }
     source, relpath = fixtures[rule_id]

@@ -39,7 +39,9 @@ class TestValidation:
             CADConfig(**kwargs)
 
     def test_bad_engine_message_names_the_choices(self):
-        with pytest.raises(ValueError, match="engine must be 'fast' or 'reference'"):
+        with pytest.raises(
+            ValueError, match="engine must be 'fast', 'delta' or 'reference'"
+        ):
             CADConfig(window=10, step=2, engine="turbo")
 
     def test_bad_n_jobs_message_explains_minus_one(self):

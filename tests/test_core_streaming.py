@@ -34,6 +34,39 @@ class TestPushMechanics:
         stream.push_many(toy_values[:, :250])
         assert stream.samples_seen == 250
 
+    def test_push_many_matches_push_loop(self, toy_config, toy_values):
+        # push_many takes the vectorized block path (preallocated round
+        # buffers, batched finiteness scan); results must stay bitwise the
+        # one-sample push loop.
+        block = StreamingCAD(toy_config, 12)
+        looped = StreamingCAD(toy_config, 12)
+        batch = toy_values[:, :500]
+        block_records = block.push_many(batch)
+        loop_records = [
+            r for r in (looped.push(batch[:, i]) for i in range(500)) if r is not None
+        ]
+        assert block_records == loop_records
+        assert len(block_records) > 10
+
+    def test_round_buffer_reuse_does_not_corrupt_prior_round(self):
+        # Round assembly alternates two preallocated buffers; the fast
+        # kernel keeps the previous round's window *by reference* for its
+        # rank-2 update, so the buffer written for round r+1 must never be
+        # the array round r handed to the kernel.  Aliasing would silently
+        # corrupt the incremental correlation — the reference engine, which
+        # carries nothing between rounds, is the oracle.  step = window-1
+        # maximises buffer turnover between consecutive rounds.
+        from repro.core import CADConfig
+
+        rng = np.random.default_rng(0)
+        values = np.cumsum(rng.normal(size=(10, 800)), axis=1)
+        records = {}
+        for engine in ("fast", "reference"):
+            config = CADConfig(window=60, step=59, engine=engine, corr_refresh=64)
+            records[engine] = StreamingCAD(config, 10).push_many(values)
+        assert len(records["fast"]) > 5
+        assert records["fast"] == records["reference"]
+
 
 class TestEquivalenceWithBatch:
     def test_same_variations_as_batch_detect(self, toy_config, toy_values):

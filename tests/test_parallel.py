@@ -12,7 +12,15 @@ import numpy as np
 import pytest
 
 from repro.core import CAD, CADConfig, StreamingCAD
-from repro.core.parallel import _chunk_bounds, resolve_jobs
+from repro.core.parallel import (
+    _chunk_bounds,
+    get_worker_pool,
+    pool_generation,
+    resolve_jobs,
+    restore_pool_generation,
+    shutdown_worker_pool,
+)
+from repro.core.pipeline import CommunityPipeline
 from repro.timeseries import MultivariateTimeSeries
 
 
@@ -174,6 +182,71 @@ class TestParallelDetect:
             parallel.detect(series, n_jobs=3).rounds
             == sequential.detect(series).rounds
         )
+
+
+class TestWorkerPool:
+    """The persistent shared-memory pool: reuse, respawn, error paths."""
+
+    def test_pool_persists_across_calls(self):
+        shutdown_worker_pool()
+        pool = get_worker_pool(2)
+        assert get_worker_pool(2) is pool
+        series = make_series(seed=22, length=900)
+        CAD(make_config(), series.n_sensors).detect(series, n_jobs=2)
+        assert get_worker_pool(2) is pool, "detect must reuse the pool"
+        grown = get_worker_pool(3)
+        assert grown is not pool and pool.closed
+
+    def test_delta_engine_parallel_identical(self):
+        series = make_series(seed=21)
+        config = make_config(engine="delta")
+        sequential = CAD(config, series.n_sensors)
+        parallel = CAD(config, series.n_sensors)
+        result_seq = sequential.detect(series)
+        result_par = parallel.detect(series, n_jobs=3)
+        assert result_par.rounds == result_seq.rounds
+        assert result_par.anomalies == result_seq.anomalies
+        # Candidate cache and warm-start state must land where a
+        # sequential run would leave them.
+        assert_state_equal(parallel.to_state(), sequential.to_state())
+
+    def test_worker_death_respawns_and_stays_identical(self):
+        series = make_series(seed=20)
+        sequential = CAD(make_config(), series.n_sensors)
+        result_seq = sequential.detect(series)
+        pool = get_worker_pool(2)
+        generation_before = pool.generation
+        victim = pool._workers[0].process
+        victim.terminate()
+        victim.join()
+        parallel = CAD(make_config(), series.n_sensors)
+        result_par = parallel.detect(series, n_jobs=2)
+        assert result_par.rounds == result_seq.rounds
+        assert pool_generation() > generation_before
+        assert all(w.process.is_alive() for w in pool._workers)
+
+    def test_worker_errors_propagate_and_pool_survives(self):
+        config = make_config()
+        pipeline = CommunityPipeline(config, 9)
+        bad_window = [np.zeros((9, config.window + 1))]
+        pool = get_worker_pool(2)
+        with pytest.raises(ValueError, match="shape"):
+            list(pool.run_chunks(config, 9, [(pipeline.to_state(), 0, bad_window, True)]))
+        # The pool must stay usable after a failed chunk.
+        series = make_series(seed=23, length=900)
+        sequential = CAD(make_config(), series.n_sensors)
+        parallel = CAD(make_config(), series.n_sensors)
+        assert (
+            parallel.detect(series, n_jobs=2).rounds
+            == sequential.detect(series).rounds
+        )
+
+    def test_generation_floor_is_monotonic(self):
+        base = pool_generation()
+        restore_pool_generation(base + 5)
+        assert pool_generation() == base + 5
+        restore_pool_generation(base)  # rewind attempts are ignored
+        assert pool_generation() == base + 5
 
 
 class TestParallelAfterRestore:
