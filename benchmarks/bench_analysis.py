@@ -1,0 +1,140 @@
+"""Incremental-lint benchmark: cold vs warm whole-program analysis.
+
+Standalone script (like ``bench_perf.py``) — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py           # full
+    PYTHONPATH=src python benchmarks/bench_analysis.py --quick   # CI smoke
+
+A cold run parses every file under ``src/repro tests benchmarks``, runs
+the file rules, builds the per-file summaries and the cross-file pass.  A
+warm run hashes the same files and loads one JSON document.  This script
+times both against a throwaway cache directory and enforces the two
+properties that make the cache trustworthy:
+
+* **bit-identical findings** — the warm run must report exactly the cold
+  run's violations (same paths, lines, rules, messages);
+* **speedup floor** — the warm run must be at least ``MIN_SPEEDUP``x
+  faster than the cold run (min-of-repeats timing), otherwise the cache
+  is overhead masquerading as an optimisation.
+
+Results go to ``BENCH_analysis.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import ALL_RULES, analyze_paths
+from repro.analysis.cache import AnalysisCache
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Warm lint must beat cold lint by at least this factor (acceptance).
+MIN_SPEEDUP = 3.0
+
+
+def lint_once(targets: list[str], cache_dir: Path | None):
+    cache = (
+        AnalysisCache(cache_dir, ALL_RULES) if cache_dir is not None else None
+    )
+    start = time.perf_counter()
+    report = analyze_paths(targets, root=str(REPO_ROOT), cache=cache)
+    elapsed = time.perf_counter() - start
+    return elapsed, report
+
+
+def timed_runs(targets: list[str], repeats: int) -> dict:
+    """Min-of-repeats cold and warm timings over a throwaway cache."""
+    cold_times: list[float] = []
+    warm_times: list[float] = []
+    cold_findings: list[dict] | None = None
+    warm_findings: list[dict] | None = None
+    checked_files = 0
+
+    for _ in range(repeats):
+        work = Path(tempfile.mkdtemp(prefix="bench-analysis-"))
+        try:
+            cold_elapsed, cold_report = lint_once(targets, work)
+            warm_elapsed, warm_report = lint_once(targets, work)
+        finally:
+            shutil.rmtree(work, ignore_errors=True)
+        cold_times.append(cold_elapsed)
+        warm_times.append(warm_elapsed)
+        checked_files = cold_report.checked_files
+        cold_findings = [v.to_json() for v in cold_report.violations]
+        warm_findings = [v.to_json() for v in warm_report.violations]
+        if not warm_report.project_from_cache:
+            raise SystemExit("warm run did not reuse the project pass")
+        if warm_report.cache_misses:
+            raise SystemExit(
+                f"warm run missed {warm_report.cache_misses} file records"
+            )
+
+    cold = min(cold_times)
+    warm = min(warm_times)
+    return {
+        "checked_files": checked_files,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+        "findings": len(cold_findings or []),
+        "findings_identical": cold_findings == warm_findings,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single repeat (CI smoke); default is min of 3",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_analysis.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args()
+
+    targets = [
+        str(REPO_ROOT / "src" / "repro"),
+        str(REPO_ROOT / "tests"),
+        str(REPO_ROOT / "benchmarks"),
+    ]
+    repeats = 1 if args.quick else 3
+    result = timed_runs(targets, repeats)
+
+    payload = {
+        "benchmark": "incremental-lint",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "repeats": repeats,
+        "min_speedup_required": MIN_SPEEDUP,
+        **result,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"cold {result['cold_seconds']:.3f}s, warm {result['warm_seconds']:.3f}s "
+        f"({result['speedup']:.1f}x) over {result['checked_files']} files, "
+        f"{result['findings']} findings"
+    )
+    if not result["findings_identical"]:
+        print("FAIL: warm findings differ from cold findings")
+        return 1
+    if result["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {result['speedup']:.2f}x < {MIN_SPEEDUP}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

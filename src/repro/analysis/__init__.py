@@ -15,7 +15,17 @@ R6        no mutable default arguments
 R7        no swallowed exceptions on checkpoint/streaming paths
 R8        NaN-aware reductions on degraded-mode-reachable arrays
 R9        producer-time-only ingest (no host clock / naive datetime)
+R10       SharedMemory cleanup on ``finally`` paths
+R11       checkpoint save/load key symmetry (whole-program)
+R12       lock/queue acquisition-order acyclicity (whole-program)
+R13       config/CLI/docs agreement for the knob surface (whole-program)
+R14       typed raises in runtime/ingest (whole-program)
 ========  ==========================================================
+
+R1–R10 are per-file checks; R11–R14 run against a project-wide module
+index and resolved call graph (see DESIGN.md §11), with per-file facts
+cached content-addressed for incremental runs (``--cache-dir``) and a
+SARIF 2.1.0 emitter for code-scanning UIs (``--sarif-out``).
 
 Run ``python -m repro.analysis src/repro tests benchmarks``; suppress a
 single finding with ``# repro: noqa[R1] <reason>``; grandfather existing

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.analysis src/repro tests benchmarks
     python -m repro.analysis src/repro --format json
+    python -m repro.analysis src/repro --format sarif > findings.sarif
+    python -m repro.analysis src/repro --cache-dir .repro-analysis-cache
     python -m repro.analysis src/repro --update-baseline   # grandfather
     python -m repro.analysis --list-rules
 
@@ -25,8 +27,10 @@ from .baseline import (
     load_baseline,
     save_baseline,
 )
+from .cache import AnalysisCache
 from .engine import analyze_paths
 from .rules import ALL_RULES
+from .sarif import sarif_report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,7 +38,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "AST linter enforcing CAD's determinism and numerical-safety "
-            "invariants (rules R1-R8; see DESIGN.md 'Enforced invariants')."
+            "invariants (rules R1-R14; see DESIGN.md 'Enforced invariants' "
+            "and 'Whole-program analysis')."
         ),
     )
     parser.add_argument(
@@ -44,9 +49,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif-out",
+        default=None,
+        metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report to PATH "
+        "(independent of --format)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="incremental-analysis cache directory; unchanged files skip "
+        "parsing and rule execution entirely",
     )
     parser.add_argument(
         "--baseline",
@@ -91,7 +110,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if missing:
         parser.error(f"no such file or directory: {', '.join(missing)}")
 
-    report = analyze_paths(targets)
+    cache = (
+        AnalysisCache(options.cache_dir, ALL_RULES)
+        if options.cache_dir is not None
+        else None
+    )
+    report = analyze_paths(targets, cache=cache)
 
     baseline_path = (
         Path(options.baseline)
@@ -114,6 +138,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         result.new_violations or result.stale_entries or report.parse_failures
     )
 
+    if options.sarif_out is not None or options.format == "sarif":
+        sarif = sarif_report(
+            result.new_violations,
+            result.grandfathered,
+            report.parse_failures,
+            ALL_RULES,
+        )
+        rendered = json.dumps(sarif, indent=2, sort_keys=True)
+        if options.sarif_out is not None:
+            Path(options.sarif_out).write_text(
+                rendered + "\n", encoding="utf-8"
+            )
+        if options.format == "sarif":
+            print(rendered)
+            return 1 if failed else 0
+
     if options.format == "json":
         payload = {
             "checked_files": report.checked_files,
@@ -125,6 +165,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 for f in report.parse_failures
             ],
             "suppressed": report.suppressed,
+            "cache": {
+                "enabled": cache is not None,
+                "hits": report.cache_hits,
+                "misses": report.cache_misses,
+                "project_from_cache": report.project_from_cache,
+            },
             "ok": not failed,
         }
         print(json.dumps(payload, indent=2))
@@ -146,6 +192,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{len(result.stale_entries)} stale baseline entries, "
         f"{report.suppressed} suppressed by pragma"
     )
+    if cache is not None:
+        summary += (
+            f" (cache: {report.cache_hits} hits, {report.cache_misses} misses)"
+        )
     print(summary)
     return 1 if failed else 0
 

@@ -1,0 +1,198 @@
+"""Incremental analysis cache: per-file artefacts keyed by content hash.
+
+A cold run parses every file, runs the file rules, and builds the per-file
+summaries the project pass consumes.  All of that is a pure function of
+``(file content, rule set)``, so it is cached as one JSON record per file
+keyed by the content's SHA-256.  The project pass itself is a pure function
+of every file's summary plus the doc files, so its post-suppression findings
+are cached under a global digest.  A warm run on an unchanged tree therefore
+only hashes files and loads one JSON document — no ``ast.parse`` at all.
+
+Invalidation:
+
+* **content change** — the file's hash moves, its record misses, and the
+  global digest moves, so the project pass re-runs;
+* **transitive dependency change** — per-file records of *importers* stay
+  valid (summaries depend only on their own file), but
+  :meth:`AnalysisCache.stale_files` reports every transitive importer of a
+  changed file via the stored module graph, and the global digest forces
+  the cross-file pass to re-run — which is exactly the part of the analysis
+  that could be affected;
+* **rule-set change** — the signature covers rule ids and classes; any
+  difference drops the whole cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Bump whenever record layout or summary semantics change.
+CACHE_SCHEMA = 1
+
+_CACHE_FILENAME = "analysis-cache.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def ruleset_signature(rules: Sequence[Any]) -> str:
+    """Identity of the rule set (and cache schema) the records depend on."""
+    payload = [
+        CACHE_SCHEMA,
+        [
+            [
+                rule.rule_id,
+                f"{rule.__class__.__module__}.{rule.__class__.__qualname__}",
+                rule.title,
+            ]
+            for rule in rules
+        ],
+    ]
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def project_digest(
+    signature: str,
+    file_hashes: Mapping[str, str],
+    docs: Mapping[str, str],
+) -> str:
+    """Global key for the cross-file pass: every input it can observe."""
+    payload = {
+        "signature": signature,
+        "files": sorted(file_hashes.items()),
+        "docs": sorted(
+            (name, content_hash(text)) for name, text in docs.items()
+        ),
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+class AnalysisCache:
+    """One JSON document under ``directory`` holding every artefact."""
+
+    def __init__(self, directory: str | Path, rules: Sequence[Any]) -> None:
+        self.directory = Path(directory)
+        self.signature = ruleset_signature(rules)
+        self.path = self.directory / _CACHE_FILENAME
+        self.hits = 0
+        self.misses = 0
+        self._files: dict[str, dict[str, Any]] = {}
+        self._project: dict[str, Any] = {}
+        self._import_graph: dict[str, list[str]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("signature") != self.signature:
+            # Rule-set (or schema) change: every artefact is suspect.
+            return
+        files = payload.get("files")
+        project = payload.get("project")
+        graph = payload.get("import_graph")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(project, dict):
+            self._project = project
+        if isinstance(graph, dict):
+            self._import_graph = graph
+
+    # -- per-file records --------------------------------------------------
+
+    def lookup(self, relpath: str, digest: str) -> dict[str, Any] | None:
+        entry = self._files.get(relpath)
+        if entry is not None and entry.get("hash") == digest:
+            self.hits += 1
+            return entry["record"]
+        self.misses += 1
+        return None
+
+    def store(self, relpath: str, digest: str, record: dict[str, Any]) -> None:
+        self._files[relpath] = {"hash": digest, "record": record}
+        self._dirty = True
+
+    # -- project pass ------------------------------------------------------
+
+    def lookup_project(self, digest: str) -> dict[str, Any] | None:
+        if self._project.get("digest") == digest:
+            return self._project["result"]
+        return None
+
+    def store_project(
+        self,
+        digest: str,
+        result: dict[str, Any],
+        import_graph: dict[str, list[str]],
+    ) -> None:
+        self._project = {"digest": digest, "result": result}
+        self._import_graph = import_graph
+        self._dirty = True
+
+    # -- transitive invalidation ------------------------------------------
+
+    def stale_files(self, current_hashes: Mapping[str, str]) -> set[str]:
+        """Files whose whole-program facts may differ from the cached run:
+        directly changed/new files plus every transitive importer (via the
+        module graph captured at the last project pass)."""
+        changed = {
+            relpath
+            for relpath, digest in current_hashes.items()
+            if self._files.get(relpath, {}).get("hash") != digest
+        }
+        changed.update(
+            relpath for relpath in self._files if relpath not in current_hashes
+        )
+        reverse: dict[str, set[str]] = {}
+        for importer, targets in self._import_graph.items():
+            for target in targets:
+                reverse.setdefault(target, set()).add(importer)
+        stale = set(changed)
+        stack = sorted(changed)
+        while stack:
+            current = stack.pop()
+            for importer in reverse.get(current, ()):
+                if importer not in stale:
+                    stale.add(importer)
+                    stack.append(importer)
+        return stale
+
+    # -- persistence -------------------------------------------------------
+
+    def prune(self, keep: Iterable[str]) -> None:
+        """Drop records for files no longer part of the analysed set."""
+        keep_set = set(keep)
+        dropped = [rel for rel in self._files if rel not in keep_set]
+        for rel in dropped:
+            del self._files[rel]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "signature": self.signature,
+            "files": self._files,
+            "project": self._project,
+            "import_graph": self._import_graph,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(self.path)
+        self._dirty = False

@@ -1,20 +1,41 @@
 """File collection, pragma handling and rule execution for the linter.
 
 The engine is intentionally free of third-party dependencies: ``ast`` +
-``re`` over the files named on the command line.  Suppression is explicit
-and local — a ``# repro: noqa[R1]`` pragma on the offending line (optionally
-listing several rule ids, optionally followed by a justification) — and
-grandfathering lives in a reviewed baseline file, never in the code.
+``tokenize`` + ``re`` over the files named on the command line.  Suppression
+is explicit and local — a ``# repro: noqa[R1]`` pragma on the offending line
+(optionally listing several rule ids, optionally followed by a
+justification) — and grandfathering lives in a reviewed baseline file,
+never in the code.
+
+Analysis runs in two phases.  The **file phase** parses each file and runs
+the per-file rules exactly as before; it also collects each rule's
+JSON-safe per-file summary plus a generic module summary (imports, defs,
+classes).  The **project phase** assembles those summaries into a
+:class:`~repro.analysis.project.ProjectContext` with a resolved call graph
+and runs every rule's ``check_project`` once.  Both phases are pure
+functions of file contents + rule set, which is what makes the incremental
+cache (:mod:`repro.analysis.cache`) sound: per-file records are keyed by
+content hash, the project result by a digest over every hash.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
+from .cache import AnalysisCache, content_hash, project_digest, ruleset_signature
+from .project import (
+    build_project,
+    import_graph,
+    load_docs,
+    module_name_for,
+    summarize_module,
+)
 from .rules import ALL_RULES, FileContext, Rule, Violation
 
 #: ``# repro: noqa`` (all rules) or ``# repro: noqa[R1,R5] reason...``.
@@ -43,22 +64,80 @@ class AnalysisReport:
     suppressed: int = 0
     parse_failures: list[ParseFailure] = field(default_factory=list)
     checked_files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    project_from_cache: bool = False
+
+
+def _merge_pragma(
+    existing: frozenset[str] | None, codes: frozenset[str] | None
+) -> frozenset[str] | None:
+    """Bare ``noqa`` (None) dominates; otherwise code sets union."""
+    if existing is None or codes is None:
+        return None
+    return existing | codes
+
+
+def _pragmas_in_comment(comment: str) -> frozenset[str] | None | object:
+    """All pragmas in one comment string merged, or ``_NO_PRAGMA``."""
+    merged: frozenset[str] | None | object = _NO_PRAGMA
+    for match in _PRAGMA.finditer(comment):
+        codes = match.group("codes")
+        parsed: frozenset[str] | None
+        if codes is None:
+            parsed = None
+        else:
+            parsed = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+        if merged is _NO_PRAGMA:
+            merged = parsed
+        else:
+            merged = _merge_pragma(merged, parsed)  # type: ignore[arg-type]
+    return merged
+
+
+_NO_PRAGMA = object()
+
+
+def parse_pragmas_source(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to suppressed rule ids (None = all rules).
+
+    Tokenises the source so pragma-shaped text inside string literals is
+    ignored, and merges *every* pragma in a comment (not just the first):
+    ``# repro: noqa[R1]; # repro: noqa[R2]`` suppresses both rules, and a
+    bare ``# repro: noqa`` anywhere on the line suppresses everything.
+    """
+    pragmas: dict[int, frozenset[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            found = _pragmas_in_comment(token.string)
+            if found is _NO_PRAGMA:
+                continue
+            line = token.start[0]
+            if line in pragmas:
+                pragmas[line] = _merge_pragma(pragmas[line], found)  # type: ignore[arg-type]
+            else:
+                pragmas[line] = found  # type: ignore[assignment]
+        return pragmas
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparsable sources fall back to the line scan; they fail the
+        # lint as PARSE findings anyway, so precision does not matter.
+        return parse_pragmas(source.splitlines())
 
 
 def parse_pragmas(lines: Sequence[str]) -> dict[int, frozenset[str] | None]:
-    """Map 1-based line numbers to suppressed rule ids (None = all rules)."""
+    """Line-based fallback scan (kept for API compatibility and as the
+    last resort for untokenisable sources)."""
     pragmas: dict[int, frozenset[str] | None] = {}
     for number, line in enumerate(lines, start=1):
-        match = _PRAGMA.search(line)
-        if match is None:
+        found = _pragmas_in_comment(line)
+        if found is _NO_PRAGMA:
             continue
-        codes = match.group("codes")
-        if codes is None:
-            pragmas[number] = None
-        else:
-            pragmas[number] = frozenset(
-                code.strip().upper() for code in codes.split(",") if code.strip()
-            )
+        pragmas[number] = found  # type: ignore[assignment]
     return pragmas
 
 
@@ -99,9 +178,12 @@ def build_context(path: Path, source: str, relpath: str | None = None) -> FileCo
 def analyze_source(
     source: str, relpath: str, rules: Sequence[Rule] = ALL_RULES
 ) -> list[Violation]:
-    """Lint one in-memory source blob (the unit-test entry point)."""
+    """Lint one in-memory source blob (the unit-test entry point).
+
+    Runs the file phase only; cross-file rules need :func:`analyze_paths`.
+    """
     ctx = build_context(Path(relpath), source, relpath)
-    pragmas = parse_pragmas(ctx.lines)
+    pragmas = parse_pragmas_source(source)
     found: list[Violation] = []
     for rule in rules:
         if not rule.applies(ctx):
@@ -112,35 +194,171 @@ def analyze_source(
     return sorted(found)
 
 
+def _build_record(
+    path: Path, source: str, relpath: str, rules: Sequence[Rule]
+) -> dict[str, Any]:
+    """File-phase artefact for one file: violations, pragmas, summaries.
+
+    Everything in the record is JSON-serialisable so the cache can persist
+    it verbatim; cold and warm runs reconstruct identical state from it.
+    """
+    module, is_package = module_name_for(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return {
+            "parse_failure": {
+                "line": error.lineno or 1,
+                "message": error.msg or "syntax error",
+            }
+        }
+    ctx = FileContext(
+        relpath=relpath, source=source, tree=tree, lines=source.splitlines()
+    )
+    pragmas = parse_pragmas_source(source)
+    violations: list[Violation] = []
+    suppressed = 0
+    facts: dict[str, Any] = {}
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if is_suppressed(violation, pragmas):
+                suppressed += 1
+            else:
+                violations.append(violation)
+        payload = rule.summarize(ctx)
+        if payload is not None:
+            facts[rule.rule_id] = payload
+    return {
+        "parse_failure": None,
+        "violations": [v.to_json() for v in sorted(violations)],
+        "suppressed": suppressed,
+        "pragmas": {
+            str(line): (None if codes is None else sorted(codes))
+            for line, codes in pragmas.items()
+        },
+        "summary": summarize_module(tree, module, is_package),
+        "facts": facts,
+    }
+
+
+def _record_pragmas(
+    record: dict[str, Any] | None,
+) -> dict[int, frozenset[str] | None]:
+    if not record:
+        return {}
+    return {
+        int(line): (None if codes is None else frozenset(codes))
+        for line, codes in (record.get("pragmas") or {}).items()
+    }
+
+
+def _file_key(source: str, module: str | None) -> str:
+    # The module name feeds the summaries, so it is part of the key: adding
+    # or removing a neighbouring __init__.py invalidates the record even
+    # though the file's own bytes did not change.
+    return content_hash(source + "\x00" + (module or "<script>"))
+
+
 def analyze_paths(
-    targets: Iterable[str | Path], rules: Sequence[Rule] = ALL_RULES
+    targets: Iterable[str | Path],
+    rules: Sequence[Rule] = ALL_RULES,
+    *,
+    root: str | Path | None = None,
+    cache: AnalysisCache | None = None,
 ) -> AnalysisReport:
-    """Lint every file under ``targets`` and aggregate the findings."""
+    """Lint every file under ``targets`` and aggregate the findings.
+
+    ``root`` anchors doc-file lookup for the drift rules (default: the
+    current directory).  Passing an :class:`AnalysisCache` makes the run
+    incremental; the cache is saved before returning.
+    """
     report = AnalysisReport()
+    root_path = Path(root) if root is not None else Path(".")
+
+    records: dict[str, dict[str, Any]] = {}
+    hashes: dict[str, str] = {}
+    lines_by_file: dict[str, list[str]] = {}
+
     for path in collect_files(targets):
+        relpath = path.as_posix()
         try:
             source = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as error:
             report.parse_failures.append(
-                ParseFailure(path.as_posix(), 1, f"unreadable file: {error}")
+                ParseFailure(relpath, 1, f"unreadable file: {error}")
             )
             continue
-        try:
-            ctx = build_context(path, source)
-        except SyntaxError as error:
+        module, _ = module_name_for(path)
+        digest = _file_key(source, module)
+        record = cache.lookup(relpath, digest) if cache is not None else None
+        if record is None:
+            record = _build_record(path, source, relpath, rules)
+            if cache is not None:
+                cache.store(relpath, digest, record)
+        failure = record.get("parse_failure")
+        if failure is not None:
             report.parse_failures.append(
-                ParseFailure(path.as_posix(), error.lineno or 1, error.msg or "syntax error")
+                ParseFailure(relpath, failure["line"], failure["message"])
             )
             continue
         report.checked_files += 1
-        pragmas = parse_pragmas(ctx.lines)
+        report.suppressed += record["suppressed"]
+        report.violations.extend(
+            Violation.from_json(v) for v in record["violations"]
+        )
+        records[relpath] = record
+        hashes[relpath] = digest
+        lines_by_file[relpath] = source.splitlines()
+
+    docs = load_docs(root_path)
+    digest = project_digest(ruleset_signature(rules), hashes, docs)
+    cached_project = (
+        cache.lookup_project(digest) if cache is not None else None
+    )
+    if cached_project is not None:
+        report.project_from_cache = True
+        report.suppressed += cached_project["suppressed"]
+        report.violations.extend(
+            Violation.from_json(v) for v in cached_project["violations"]
+        )
+    else:
+        summaries = {
+            relpath: record["summary"] for relpath, record in records.items()
+        }
+        facts: dict[str, dict[str, Any]] = {"__lines__": lines_by_file}
+        for relpath, record in records.items():
+            for rule_id, payload in (record.get("facts") or {}).items():
+                facts.setdefault(rule_id, {})[relpath] = payload
+        project = build_project(summaries, docs, facts)
+        kept: list[Violation] = []
+        suppressed = 0
         for rule in rules:
-            if not rule.applies(ctx):
-                continue
-            for violation in rule.check(ctx):
+            for violation in rule.check_project(project):
+                pragmas = _record_pragmas(records.get(violation.path))
                 if is_suppressed(violation, pragmas):
-                    report.suppressed += 1
+                    suppressed += 1
                 else:
-                    report.violations.append(violation)
+                    kept.append(violation)
+        kept.sort()
+        report.suppressed += suppressed
+        report.violations.extend(kept)
+        if cache is not None:
+            cache.store_project(
+                digest,
+                {
+                    "violations": [v.to_json() for v in kept],
+                    "suppressed": suppressed,
+                },
+                import_graph(summaries),
+            )
+
+    if cache is not None:
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+        cache.prune(hashes)
+        cache.save()
+
     report.violations.sort()
     return report

@@ -6,11 +6,15 @@ output contract (findings sort by path/line, ties by rule id).
 
 from __future__ import annotations
 
-from .base import FileContext, Rule, Violation
+from .base import FileContext, ProjectRule, Rule, Violation
+from .checkpoint_contract import CheckpointContractRule
+from .config_drift import ConfigDriftRule
 from .defaults import MutableDefaultRule
+from .exception_taxonomy import ExceptionTaxonomyRule
 from .exceptions import SwallowedExceptionRule
 from .floats import FloatEqualityRule
 from .ingest_clock import IngestClockRule
+from .lock_order import LockOrderRule
 from .nandiscipline import NanDisciplineRule
 from .ordering import UnorderedIterationRule
 from .parallel_dispatch import ParallelDispatchRule
@@ -29,6 +33,10 @@ ALL_RULES: tuple[Rule, ...] = (
     NanDisciplineRule(),
     IngestClockRule(),
     SharedMemoryLifecycleRule(),
+    CheckpointContractRule(),
+    LockOrderRule(),
+    ConfigDriftRule(),
+    ExceptionTaxonomyRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
@@ -37,6 +45,7 @@ __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
     "FileContext",
+    "ProjectRule",
     "Rule",
     "Violation",
 ]

@@ -42,6 +42,17 @@ class Violation:
             "source": self.source,
         }
 
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "Violation":
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule=payload["rule"],
+            message=payload["message"],
+            source=payload.get("source", ""),
+        )
+
 
 @dataclass
 class FileContext:
@@ -83,7 +94,14 @@ class FileContext:
 
 
 class Rule:
-    """Base class for one lint rule (see ``repro.analysis.rules``)."""
+    """Base class for one lint rule (see ``repro.analysis.rules``).
+
+    File rules implement ``check(ctx)``.  Rules that need the whole-program
+    view additionally implement ``summarize(ctx)`` (a JSON-safe per-file
+    fact payload the engine caches by content hash) and
+    ``check_project(project)`` (run once per analysis over the assembled
+    :class:`~repro.analysis.project.ProjectContext`).
+    """
 
     rule_id: ClassVar[str]
     title: ClassVar[str]
@@ -94,6 +112,17 @@ class Rule:
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         raise NotImplementedError
+
+    def summarize(self, ctx: FileContext) -> Any | None:
+        """Per-file facts for ``check_project``; must be JSON-serialisable.
+
+        Returning ``None`` (the default) stores nothing for this file.
+        """
+        return None
+
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        """Cross-file pass over a ProjectContext; default: no findings."""
+        return iter(())
 
     def violation(
         self, ctx: FileContext, node: ast.AST, message: str
@@ -108,6 +137,38 @@ class Rule:
             message=message,
             source=ctx.source_line(line),
         )
+
+    def project_violation(
+        self,
+        project: Any,
+        relpath: str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> Violation:
+        """A finding anchored in a file the project index knows about.
+
+        ``col`` is 0-based (AST convention), matching :meth:`violation`.
+        """
+        source = ""
+        lines = project.facts.get("__lines__", {}).get(relpath)
+        if lines and 1 <= line <= len(lines):
+            source = lines[line - 1].strip()
+        return Violation(
+            path=relpath,
+            line=line,
+            col=col + 1,
+            rule=self.rule_id,
+            message=message,
+            source=source,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule with no per-file findings — only the project pass reports."""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
 
 
 def dotted_name(node: ast.AST) -> str | None:

@@ -1,0 +1,342 @@
+"""R11 — checkpoint save/load key symmetry across the whole program.
+
+Bit-identical resume (DESIGN.md §4, §8) only holds when every key a
+``save``/``to_state`` path writes is consumed by the matching
+``load``/``from_state``/``restore`` path, across *every* supported
+checkpoint version: an orphaned key silently drops state on restore, and a
+hard read of a never-written key is a latent ``KeyError`` on the first real
+recovery.  Both bugs live across function — often file — boundaries, which
+is why this is a project rule.
+
+Mechanics: the per-file summary records, for every function, the constant
+string keys it writes (dict literals, ``d["k"] = v``, ``setdefault``) and
+consumes (``d["k"]`` loads, ``.get``/``.pop``, ``"k" in d``,
+``setdefault`` — a migration default both consumes the old layout and
+writes the new one).  The project pass pairs writers with readers by the
+codebase's naming conventions (``to_state``/``from_state``/``restore_state``,
+``save_x``/``load_x``, ``_x_state``/``_restore_x_state``), expands each side
+through its *same-module* callees via the call graph (so ``load_checkpoint``
+inherits ``_read_checkpoint``'s reads, but each layer's contract stays
+local), and reports asymmetries.  Dynamic keys (f-strings, variables) are
+skipped entirely — the rule under-approximates rather than guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator
+
+from .base import FileContext, ProjectRule, Violation
+
+_KeyMap = dict[str, int]  # key -> first line it was seen on
+
+
+def _const_str(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _note(keys: _KeyMap, key: str | None, line: int) -> None:
+    if key is not None and key not in keys:
+        keys[key] = line
+
+
+def _const_loop_vars(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, list[str]]:
+    """Loop variables iterating a literal tuple/list of string constants:
+    ``for name in ("baseline", "sums"):`` makes ``d[name]`` / ``d.get(name)``
+    statically enumerable, a common checkpoint idiom for array groups."""
+    loops: dict[str, list[str]] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        if not isinstance(node.target, ast.Name):
+            continue
+        if not isinstance(node.iter, (ast.Tuple, ast.List)):
+            continue
+        keys = [_const_str(el) for el in node.iter.elts]
+        if keys and all(key is not None for key in keys):
+            loops[node.target.id] = [key for key in keys if key is not None]
+    return loops
+
+
+#: Call basenames whose keyword arguments name archive keys.
+_KEYWORD_ARCHIVE_WRITERS = {"savez", "savez_compressed"}
+
+
+def _function_key_facts(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, Any] | None:
+    writes: _KeyMap = {}
+    setdefaults: _KeyMap = {}
+    reads_hard: _KeyMap = {}
+    reads_soft: _KeyMap = {}
+    loops = _const_loop_vars(func)
+
+    def keys_of(node: ast.AST) -> list[str]:
+        key = _const_str(node)
+        if key is not None:
+            return [key]
+        if isinstance(node, ast.Name):
+            return loops.get(node.id, [])
+        return []
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    _note(writes, _const_str(key), key.lineno)
+        elif isinstance(node, ast.Subscript):
+            for key in keys_of(node.slice):
+                if isinstance(node.ctx, ast.Store):
+                    _note(writes, key, node.lineno)
+                elif isinstance(node.ctx, ast.Load):
+                    _note(reads_hard, key, node.lineno)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in ("get", "pop") and node.args:
+                for key in keys_of(node.args[0]):
+                    _note(reads_soft, key, node.lineno)
+            elif attr == "setdefault" and node.args:
+                for key in keys_of(node.args[0]):
+                    _note(setdefaults, key, node.lineno)
+            elif attr in _KEYWORD_ARCHIVE_WRITERS:
+                # np.savez(path, **name=value): keywords are archive keys.
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        _note(writes, keyword.arg, node.lineno)
+        elif isinstance(node, ast.Compare):
+            if len(node.ops) == 1 and isinstance(node.ops[0], (ast.In, ast.NotIn)):
+                for key in keys_of(node.left):
+                    _note(reads_soft, key, node.lineno)
+    if not (writes or setdefaults or reads_hard or reads_soft):
+        return None
+    return {
+        "line": func.lineno,
+        "writes": writes,
+        "setdefaults": setdefaults,
+        "reads_hard": reads_hard,
+        "reads_soft": reads_soft,
+    }
+
+
+def _is_writer_name(name: str) -> bool:
+    if name in ("to_state",):
+        return True
+    if name.startswith("save"):
+        return True
+    if name.startswith(("restore", "_restore", "from", "load", "_load")):
+        return False
+    return name.endswith("_state") and name not in ("from_state", "restore_state")
+
+
+def _reader_names(writer: str) -> list[str]:
+    """Candidate reader names for a writer, most specific first."""
+    if writer == "to_state":
+        return ["from_state", "restore_state"]
+    if writer.startswith("save"):
+        return ["load" + writer[len("save"):]]
+    # ``_runtime_state`` -> ``_restore_runtime_state``; ``x_state`` ->
+    # ``restore_x_state``.
+    if writer.startswith("_"):
+        return ["_restore" + writer]
+    return ["restore_" + writer]
+
+
+class CheckpointContractRule(ProjectRule):
+    rule_id = "R11"
+    title = "asymmetric checkpoint save/load key contract"
+    rationale = (
+        "a state key written but never consumed silently drops state on "
+        "restore, and a hard-read key nobody writes is a KeyError on the "
+        "first real recovery — both break bit-identical resume across "
+        "checkpoint versions"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.in_tests or ctx.in_benchmarks)
+
+    def summarize(self, ctx: FileContext) -> Any | None:
+        facts: dict[str, Any] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            payload = _function_key_facts(node)
+            if payload is None:
+                continue
+            qualname = self._qualname(ctx.tree, node)
+            if qualname is not None:
+                facts[qualname] = payload
+        return facts or None
+
+    @staticmethod
+    def _qualname(tree: ast.Module, func: ast.AST) -> str | None:
+        """Top-level functions and class methods only (closures excluded:
+        their keys belong to their enclosing function's contract)."""
+        for stmt in tree.body:
+            if stmt is func:
+                return getattr(func, "name", None)
+            if isinstance(stmt, ast.ClassDef):
+                for member in stmt.body:
+                    if member is func:
+                        return f"{stmt.name}.{getattr(func, 'name', '')}"
+        return None
+
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        facts = project.facts.get(self.rule_id, {})
+        for relpath in sorted(facts):
+            yield from self._check_module(project, relpath, facts)
+
+    def _check_module(
+        self, project: Any, relpath: str, all_facts: dict[str, Any]
+    ) -> Iterator[Violation]:
+        module_facts: dict[str, Any] = all_facts[relpath]
+        summary = project.summaries.get(relpath, {})
+        module = summary.get("module")
+        for qualname in sorted(module_facts):
+            last = qualname.split(".")[-1]
+            if not _is_writer_name(last):
+                continue
+            readers = self._find_readers(
+                qualname, last, module_facts, all_facts, relpath
+            )
+            if not readers:
+                continue
+            writer_side = self._closure(
+                project, relpath, module, qualname, module_facts
+            )
+            reader_side: dict[str, _KeyMap] = {
+                "writes": {}, "setdefaults": {}, "reads_hard": {}, "reads_soft": {}
+            }
+            for reader_relpath, reader_qual in readers:
+                reader_summary = project.summaries.get(reader_relpath, {})
+                side = self._closure(
+                    project,
+                    reader_relpath,
+                    reader_summary.get("module"),
+                    reader_qual,
+                    all_facts.get(reader_relpath, {}),
+                )
+                for bucket, keys in side.items():
+                    for key, line in keys.items():
+                        reader_side[bucket].setdefault(key, line)
+            yield from self._compare(
+                project, relpath, qualname, writer_side,
+                readers, reader_side,
+            )
+
+    def _find_readers(
+        self,
+        writer_qual: str,
+        writer_last: str,
+        module_facts: dict[str, Any],
+        all_facts: dict[str, Any],
+        relpath: str,
+    ) -> list[tuple[str, str]]:
+        prefix = writer_qual[: -len(writer_last)]  # "" or "Class."
+        candidates = _reader_names(writer_last)
+        # Same class, then same module (any prefix), then global unique.
+        for name in candidates:
+            if prefix + name in module_facts:
+                return [(relpath, prefix + name)]
+        same_module = [
+            qual
+            for qual in module_facts
+            if qual.split(".")[-1] in candidates
+        ]
+        if same_module:
+            return [(relpath, qual) for qual in sorted(same_module)]
+        if writer_last.startswith("save"):
+            loaders = sorted(
+                qual
+                for qual in module_facts
+                if qual.split(".")[-1].startswith("load")
+            )
+            if loaders:
+                return [(relpath, qual) for qual in loaders]
+        matches: list[tuple[str, str]] = []
+        for other_relpath in sorted(all_facts):
+            if other_relpath == relpath:
+                continue
+            for qual in sorted(all_facts[other_relpath]):
+                if qual.split(".")[-1] in candidates:
+                    matches.append((other_relpath, qual))
+        return matches if len(matches) == 1 else []
+
+    def _closure(
+        self,
+        project: Any,
+        relpath: str,
+        module: str | None,
+        qualname: str,
+        module_facts: dict[str, Any],
+    ) -> dict[str, _KeyMap]:
+        merged: dict[str, _KeyMap] = {
+            "writes": {}, "setdefaults": {}, "reads_hard": {}, "reads_soft": {}
+        }
+        quals = {qualname}
+        if module and project.callgraph is not None:
+            node = f"{module}:{qualname}"
+            for callee in project.callgraph.transitive_callees(
+                node, within_module=module
+            ):
+                quals.add(callee.split(":", 1)[1])
+        for qual in sorted(quals):
+            payload = module_facts.get(qual)
+            if not payload:
+                continue
+            for bucket in merged:
+                for key, line in payload.get(bucket, {}).items():
+                    merged[bucket].setdefault(key, line)
+        return merged
+
+    def _compare(
+        self,
+        project: Any,
+        relpath: str,
+        writer_qual: str,
+        writer: dict[str, _KeyMap],
+        readers: list[tuple[str, str]],
+        reader: dict[str, _KeyMap],
+    ) -> Iterator[Violation]:
+        reader_label = ", ".join(
+            f"{qual}()" for _, qual in readers
+        )
+        consumed = (
+            set(reader["reads_hard"])
+            | set(reader["reads_soft"])
+            | set(reader["setdefaults"])
+            | set(writer["reads_hard"])
+            | set(writer["reads_soft"])
+        )
+        written = (
+            set(writer["writes"])
+            | set(writer["setdefaults"])
+            | set(reader["writes"])
+            | set(reader["setdefaults"])
+        )
+        for key in sorted(writer["writes"]):
+            if key not in consumed:
+                yield self.project_violation(
+                    project,
+                    relpath,
+                    writer["writes"][key],
+                    0,
+                    f"checkpoint key '{key}' written by {writer_qual}() is "
+                    f"never consumed by {reader_label}; orphaned keys drop "
+                    "state silently on restore",
+                )
+        reader_relpath = readers[0][0]
+        for key in sorted(reader["reads_hard"]):
+            if key not in written:
+                yield self.project_violation(
+                    project,
+                    reader_relpath,
+                    reader["reads_hard"][key],
+                    0,
+                    f"checkpoint key '{key}' is hard-read by {reader_label} "
+                    f"but never written by {writer_qual}(); restoring an "
+                    "archive from that writer raises KeyError",
+                )

@@ -1,0 +1,286 @@
+"""R13 — config / CLI / docs drift.
+
+``CADConfig`` is the single knob surface the paper's reproduction exposes;
+``cli.py`` maps flags onto its fields and README/DESIGN document them.
+Those three views drift independently: a renamed field leaves a flag
+feeding a keyword the constructor no longer accepts (a runtime TypeError
+on a path tests rarely exercise), a removed flag leaves ``args.x`` reads
+that explode at dispatch, and an undocumented field silently changes the
+reproduction surface.  All three are cross-file facts, so this is a
+project rule.
+
+Checks:
+
+* **unknown config keyword** — any call resolving to a project dataclass
+  (constructor, or a ``suggest``-style classmethod on one) passing a
+  keyword that is neither a field nor a declared parameter;
+* **flag without a consumer** — an ``add_argument`` flag in a ``cli.py``
+  whose dest is never read as ``args.<dest>`` in that file (dead surface,
+  usually a leftover of a renamed field);
+* **args read without a flag** — ``args.<name>`` read in a ``cli.py`` with
+  no flag defining that dest (AttributeError at runtime);
+* **undocumented field** — a field of a dataclass named ``CADConfig`` that
+  appears in neither README.md nor DESIGN.md (as a bare word or
+  ``--dashed-flag``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Iterator
+
+from .base import FileContext, ProjectRule, Violation, dotted_name
+
+#: Dataclasses whose fields must be covered by the project docs.
+_DOC_CLASSES = ("CADConfig",)
+
+#: argparse flags that argparse itself owns.
+_ARGPARSE_BUILTIN_DESTS = {"help", "version", "func"}
+
+
+def _flag_dest(call: ast.Call) -> tuple[str | None, str | None]:
+    """(first flag string, resolved dest) for one add_argument call."""
+    flags = [
+        arg.value
+        for arg in call.args
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+    ]
+    dest: str | None = None
+    for keyword in call.keywords:
+        if keyword.arg == "dest" and isinstance(keyword.value, ast.Constant):
+            dest = str(keyword.value.value)
+    if dest is None and flags:
+        longs = [f for f in flags if f.startswith("--")]
+        if longs:
+            dest = longs[0].lstrip("-").replace("-", "_")
+        elif flags[0].startswith("-"):
+            dest = flags[0].lstrip("-").replace("-", "_")
+        else:
+            dest = flags[0]  # positional
+    return (flags[0] if flags else None), dest
+
+
+class ConfigDriftRule(ProjectRule):
+    rule_id = "R13"
+    title = "config / CLI / docs drift"
+    rationale = (
+        "flags, dataclass fields and doc tables describe the same knob "
+        "surface; when they disagree the CLI crashes on paths tests skip "
+        "or the documented reproduction surface silently diverges"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.in_tests or ctx.in_benchmarks)
+
+    def summarize(self, ctx: FileContext) -> Any | None:
+        config_calls: list[list[Any]] = []
+        flags: list[list[Any]] = []
+        args_reads: dict[str, int] = {}
+        is_cli = ctx.posix.rsplit("/", 1)[-1] == "cli.py"
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                last = dotted.split(".")[-1]
+                keywords = [k.arg for k in node.keywords if k.arg is not None]
+                has_star_kwargs = any(k.arg is None for k in node.keywords)
+                if keywords and not has_star_kwargs:
+                    # Record any call that *could* be a project dataclass
+                    # constructor/classmethod; resolution happens project-
+                    # side where every class is known.
+                    config_calls.append(
+                        [dotted, node.lineno, node.col_offset, sorted(keywords)]
+                    )
+                if is_cli and last == "add_argument":
+                    flag, dest = _flag_dest(node)
+                    if flag is not None and dest is not None:
+                        flags.append(
+                            [flag, dest, node.lineno, node.col_offset]
+                        )
+                elif is_cli and last in ("add_subparsers", "set_defaults"):
+                    # Both bind args attributes without a flag string;
+                    # record their dests so args.<dest> reads resolve.
+                    for keyword in node.keywords:
+                        if keyword.arg == "dest" and isinstance(
+                            keyword.value, ast.Constant
+                        ):
+                            flags.append(
+                                [
+                                    str(keyword.value.value),
+                                    str(keyword.value.value),
+                                    node.lineno,
+                                    node.col_offset,
+                                ]
+                            )
+                        elif last == "set_defaults" and keyword.arg is not None:
+                            flags.append(
+                                [
+                                    keyword.arg,
+                                    keyword.arg,
+                                    node.lineno,
+                                    node.col_offset,
+                                ]
+                            )
+            elif (
+                is_cli
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "args"
+                and isinstance(node.ctx, ast.Load)
+            ):
+                args_reads.setdefault(node.attr, node.lineno)
+
+        if not (config_calls or flags or args_reads):
+            return None
+        return {
+            "config_calls": config_calls,
+            "flags": flags,
+            "args_reads": args_reads,
+            "is_cli": is_cli,
+        }
+
+    # -- project pass ------------------------------------------------------
+
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        facts = project.facts.get(self.rule_id, {})
+        dataclasses = self._project_dataclasses(project)
+        if facts:
+            yield from self._check_config_calls(project, facts, dataclasses)
+            yield from self._check_cli_surface(project, facts)
+        # Doc coverage needs only the summaries: it must run even when no
+        # file recorded calls/flags (a config module alone can drift).
+        yield from self._check_docs(project, dataclasses)
+
+    @staticmethod
+    def _project_dataclasses(project: Any) -> dict[str, dict[str, Any]]:
+        """Absolute class origin -> {fields, relpath, methods params}."""
+        result: dict[str, dict[str, Any]] = {}
+        for relpath, summary in project.summaries.items():
+            module = summary.get("module")
+            if not module:
+                continue
+            for name, info in summary.get("classes", {}).items():
+                if not info.get("dataclass"):
+                    continue
+                result[f"{module}.{name}"] = {
+                    "name": name,
+                    "relpath": relpath,
+                    "fields": info.get("fields", {}),
+                    "defs": summary.get("defs", {}),
+                }
+        return result
+
+    def _check_config_calls(
+        self,
+        project: Any,
+        facts: dict[str, Any],
+        dataclasses: dict[str, dict[str, Any]],
+    ) -> Iterator[Violation]:
+        for relpath in sorted(facts):
+            for dotted, line, col, keywords in facts[relpath]["config_calls"]:
+                origin = project.resolve(relpath, dotted)
+                if origin is None:
+                    continue
+                target = dataclasses.get(origin)
+                allowed: set[str] | None = None
+                label = dotted
+                if target is not None:
+                    # Direct construction: keywords are exactly the fields.
+                    allowed = set(target["fields"])
+                else:
+                    # Classmethod constructor (e.g. ``CADConfig.suggest``):
+                    # keywords may also name the method's own parameters.
+                    parent, _, method = origin.rpartition(".")
+                    target = dataclasses.get(parent)
+                    if target is None:
+                        continue
+                    method_info = target["defs"].get(
+                        f"{target['name']}.{method}"
+                    )
+                    if method_info is None:
+                        continue
+                    allowed = set(target["fields"]) | set(
+                        method_info.get("params", [])
+                    )
+                unknown = sorted(set(keywords) - allowed)
+                for keyword in unknown:
+                    yield self.project_violation(
+                        project,
+                        relpath,
+                        line,
+                        col,
+                        f"passes unknown keyword '{keyword}' to "
+                        f"{target['name']} ({origin}); no such field — "
+                        "config/CLI drift crashes here at runtime",
+                    )
+
+    def _check_cli_surface(
+        self, project: Any, facts: dict[str, Any]
+    ) -> Iterator[Violation]:
+        for relpath in sorted(facts):
+            payload = facts[relpath]
+            if not payload.get("is_cli"):
+                continue
+            dests: dict[str, tuple[str, int, int]] = {}
+            for flag, dest, line, col in payload["flags"]:
+                dests.setdefault(dest, (flag, line, col))
+            reads = payload["args_reads"]
+            for dest in sorted(dests):
+                flag, line, col = dests[dest]
+                if not flag.startswith("-"):
+                    continue  # positionals are always consumed
+                if dest in _ARGPARSE_BUILTIN_DESTS:
+                    continue
+                if dest not in reads:
+                    yield self.project_violation(
+                        project,
+                        relpath,
+                        line,
+                        col,
+                        f"flag '{flag}' (dest '{dest}') is never read as "
+                        f"args.{dest}; dead CLI surface usually means a "
+                        "renamed or removed config field",
+                    )
+            for name in sorted(reads):
+                if name in dests or name in _ARGPARSE_BUILTIN_DESTS:
+                    continue
+                yield self.project_violation(
+                    project,
+                    relpath,
+                    reads[name],
+                    0,
+                    f"reads args.{name} but defines no flag with dest "
+                    f"'{name}'; this AttributeErrors the moment the "
+                    "command runs",
+                )
+
+    def _check_docs(
+        self, project: Any, dataclasses: dict[str, dict[str, Any]]
+    ) -> Iterator[Violation]:
+        if not project.docs:
+            return
+        doc_names = ", ".join(sorted(project.docs))
+        corpus = "\n".join(project.docs.values())
+        for origin in sorted(dataclasses):
+            target = dataclasses[origin]
+            if target["name"] not in _DOC_CLASSES:
+                continue
+            for field_name in sorted(target["fields"]):
+                dashed = "--" + field_name.replace("_", "-")
+                pattern = (
+                    rf"\b{re.escape(field_name)}\b|{re.escape(dashed)}\b"
+                )
+                if re.search(pattern, corpus):
+                    continue
+                yield self.project_violation(
+                    project,
+                    target["relpath"],
+                    target["fields"][field_name],
+                    0,
+                    f"{target['name']}.{field_name} is documented in "
+                    f"neither of {doc_names}; every knob of the "
+                    "reproduction surface must be in the doc tables",
+                )

@@ -1,0 +1,164 @@
+"""R14 — exception-taxonomy discipline in the runtime and ingest layers.
+
+The supervisor's retry/recovery policy dispatches on exception *class*
+(transient vs fatal, retryable vs checkpoint-corrupt); a bare ``ValueError``
+raised deep in ``repro/runtime/`` or ``repro/ingest/`` falls through every
+policy switch and becomes an unhandled crash instead of a classified fault.
+So those layers may only raise from the ``repro.runtime.errors`` taxonomy:
+classes defined in (or re-exported by) an ``errors`` module, plus any
+project class deriving from one.  Taxonomy classes deliberately
+multiple-inherit the builtin they replace (``ConfigurationError(SupervisorError,
+ValueError)``), so callers' ``except ValueError`` keeps working while
+policy code gains a typed hook.
+
+Per file, the summary records every ``raise`` site with its resolved dotted
+exception name; the project pass resolves each name through the import
+table (following re-export chains) and checks membership in the taxonomy
+closure.  Bare re-raises and variables are skipped (their class is whatever
+was caught); ``NotImplementedError`` is allowed (abstract-method idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator
+
+from .base import FileContext, ProjectRule, Violation, dotted_name
+
+#: Builtins whose appearance in a ``raise`` is always fine.
+_ALLOWED_BUILTINS = {"NotImplementedError"}
+
+#: Builtin exception names we can classify without resolution.
+_BUILTIN_EXCEPTIONS = {
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "BufferError", "EOFError", "Exception", "FloatingPointError",
+    "GeneratorExit", "IndexError", "IndentationError", "IOError",
+    "KeyboardInterrupt", "KeyError", "LookupError", "MemoryError",
+    "NameError", "NotImplementedError", "OSError", "OverflowError",
+    "PermissionError", "RecursionError", "ReferenceError", "RuntimeError",
+    "StopAsyncIteration", "StopIteration", "SyntaxError", "SystemError",
+    "SystemExit", "TabError", "TimeoutError", "TypeError",
+    "UnboundLocalError", "UnicodeDecodeError", "UnicodeEncodeError",
+    "UnicodeError", "ValueError", "ZeroDivisionError",
+}
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    parts = ctx.posix.split("/")
+    return ("runtime" in parts or "ingest" in parts) and not (
+        ctx.in_tests or ctx.in_benchmarks
+    )
+
+
+class ExceptionTaxonomyRule(ProjectRule):
+    rule_id = "R14"
+    title = "raise outside the runtime error taxonomy"
+    rationale = (
+        "retry/recovery policy dispatches on exception class; a builtin "
+        "raised inside runtime/ingest skips every policy switch and turns "
+        "a classifiable fault into an unhandled crash"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.in_tests or ctx.in_benchmarks)
+
+    def summarize(self, ctx: FileContext) -> Any | None:
+        if not _in_scope(ctx):
+            return None
+        raises: list[list[Any]] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            dotted = dotted_name(target)
+            if dotted is None:
+                continue
+            raises.append([dotted, node.lineno, node.col_offset])
+        return {"raises": raises} if raises else None
+
+    # -- project pass ------------------------------------------------------
+
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        facts = project.facts.get(self.rule_id, {})
+        if not facts:
+            return
+        taxonomy, taxonomy_modules = self._taxonomy(project)
+        if not taxonomy_modules:
+            # No errors module in the project: nothing to enforce against.
+            return
+        label = ", ".join(sorted(taxonomy_modules))
+        for relpath in sorted(facts):
+            for dotted, line, col in facts[relpath]["raises"]:
+                head = dotted.split(".")[0]
+                origin = project.resolve(relpath, dotted)
+                if origin is not None and origin in taxonomy:
+                    continue
+                if origin is None:
+                    # Unresolvable: a builtin name is a finding, a variable
+                    # or third-party name is skipped (conservative).
+                    if dotted not in _BUILTIN_EXCEPTIONS:
+                        continue
+                    if dotted in _ALLOWED_BUILTINS:
+                        continue
+                    yield self.project_violation(
+                        project,
+                        relpath,
+                        line,
+                        col,
+                        f"raises builtin {dotted} inside runtime/ingest; "
+                        f"raise a typed class from the {label} taxonomy so "
+                        "retry/recovery policy can dispatch on it",
+                    )
+                    continue
+                if head in _ALLOWED_BUILTINS:
+                    continue
+                yield self.project_violation(
+                    project,
+                    relpath,
+                    line,
+                    col,
+                    f"raises {dotted} ({origin}), which is outside the "
+                    f"{label} taxonomy; runtime/ingest faults must be "
+                    "classifiable by the supervisor's policy switches",
+                )
+
+    def _taxonomy(self, project: Any) -> tuple[set[str], set[str]]:
+        """(closure of taxonomy class origins, errors-module names)."""
+        taxonomy: set[str] = set()
+        modules: set[str] = set()
+        for module, relpath in sorted(project.by_module.items()):
+            if module.split(".")[-1] != "errors":
+                continue
+            modules.add(module)
+            summary = project.summaries[relpath]
+            for class_name in summary.get("classes", {}):
+                taxonomy.add(f"{module}.{class_name}")
+            # Re-exports: names the errors module imports are part of the
+            # taxonomy under their *canonical* origin.
+            for alias in summary.get("imports", {}):
+                origin = project.resolve(relpath, alias)
+                if origin is not None:
+                    taxonomy.add(origin)
+        if not modules:
+            return taxonomy, modules
+        # Closure: any project class whose base chain reaches the taxonomy.
+        changed = True
+        while changed:
+            changed = False
+            for relpath, summary in project.summaries.items():
+                module = summary.get("module")
+                if not module:
+                    continue
+                for class_name, info in summary.get("classes", {}).items():
+                    origin = f"{module}.{class_name}"
+                    if origin in taxonomy:
+                        continue
+                    for base in info.get("bases", []):
+                        base_origin = project.resolve(relpath, base)
+                        if base_origin in taxonomy:
+                            taxonomy.add(origin)
+                            changed = True
+                            break
+        return taxonomy, modules

@@ -1,0 +1,424 @@
+"""R12 — lock/queue acquisition-order analysis (deadlock cycles).
+
+The supervised runtime and the persistent worker pool coordinate through
+``multiprocessing`` queues, shared-memory slots and (potentially) locks.
+Two code paths that acquire the same pair of resources in opposite orders
+can deadlock — the class of bug PR 6 fixed by hand when a worker died
+inside ``Queue.get`` while the parent blocked on the same channel.  This
+rule builds the acquisition graph statically and reports every cycle.
+
+Per file, the summary records the resources each module defines (names
+bound to ``Lock``/``RLock``/``Semaphore``/``Condition``/``Queue``/
+``SharedMemory`` constructors — module globals, ``self.x`` attributes, and
+function locals) and, per function, which resources are *acquired while
+which others are held*: ``with lock:`` bodies and ``acquire()``/
+``release()`` track held sets; queue ``get``/``put`` and ``acquire`` are
+instantaneous acquisition events.  The project pass propagates events
+through the resolved call graph (a call made while holding L inherits the
+callee's acquisitions), builds the global edge set ``held -> acquired``,
+and reports each edge that participates in a cycle; re-acquiring a
+non-reentrant lock while it is already held is the one-node cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator
+
+from ..callgraph import resolve_call
+from .base import FileContext, ProjectRule, Violation, dotted_name
+
+#: Constructor basenames that create an orderable resource, with kind.
+_RESOURCE_CONSTRUCTORS = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Semaphore": "lock",
+    "BoundedSemaphore": "lock",
+    "Condition": "lock",
+    "Queue": "queue",
+    "SimpleQueue": "queue",
+    "JoinableQueue": "queue",
+    "LifoQueue": "queue",
+    "PriorityQueue": "queue",
+    "SharedMemory": "shm",
+}
+
+#: Methods that acquire (or block on) a resource.
+_ACQUIRE_METHODS = {"acquire", "get", "put", "join"}
+
+
+def _constructor_kind(node: ast.expr) -> str | None:
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    return _RESOURCE_CONSTRUCTORS.get(dotted.split(".")[-1])
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Single-function walk tracking the held-resource stack."""
+
+    def __init__(
+        self,
+        qualname: str,
+        resolve: Any,  # callable: ast.expr -> resource id | None
+        local_resources: dict[str, str],
+    ) -> None:
+        self.qualname = qualname
+        self.resolve = resolve
+        self.local_resources = local_resources
+        self.held: list[str] = []
+        self.events: list[list[Any]] = []  # [rid, line, col, held-at-time]
+        self.held_calls: list[list[Any]] = []  # [callee, line, col, held]
+
+    def _event(self, rid: str, node: ast.AST) -> None:
+        self.events.append(
+            [rid, node.lineno, node.col_offset, list(self.held)]
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node)
+
+    def _with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            rid = self.resolve(item.context_expr)
+            if rid is not None:
+                self._event(rid, item.context_expr)
+                self.held.append(rid)
+                acquired.append(rid)
+            else:
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            rid = self.resolve(node.func.value)
+            if rid is not None and attr in _ACQUIRE_METHODS:
+                self._event(rid, node)
+                if attr == "acquire":
+                    self.held.append(rid)
+                self.generic_visit(node)
+                return
+            if rid is not None and attr == "release":
+                if rid in self.held:
+                    self.held.remove(rid)
+                self.generic_visit(node)
+                return
+        callee = dotted_name(node.func)
+        if callee is not None and self.held:
+            self.held_calls.append(
+                [callee, node.lineno, node.col_offset, list(self.held)]
+            )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # nested defs analysed separately; don't inherit held set
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+class LockOrderRule(ProjectRule):
+    rule_id = "R12"
+    title = "lock/queue acquisition-order cycle (potential deadlock)"
+    rationale = (
+        "two call paths acquiring the same resources in opposite orders "
+        "deadlock under the wrong interleaving — the worker-killed-inside-"
+        "Queue.get class of hang the runtime's watchdog cannot unwedge"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not (ctx.in_tests or ctx.in_benchmarks)
+
+    # -- summaries ---------------------------------------------------------
+
+    def summarize(self, ctx: FileContext) -> Any | None:
+        module_resources: dict[str, str] = {}
+        class_resources: dict[str, str] = {}
+        kinds: dict[str, str] = {}
+
+        for stmt in ctx.tree.body:
+            value = getattr(stmt, "value", None)
+            if value is None:
+                continue
+            kind = _constructor_kind(value)
+            if kind is None:
+                continue
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+                if isinstance(stmt, ast.AnnAssign)
+                else []
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_resources[target.id] = kind
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = sub.value
+                if value is None:
+                    continue
+                kind = _constructor_kind(value)
+                if kind is None:
+                    continue
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    dotted = dotted_name(target)
+                    if dotted and dotted.startswith("self."):
+                        class_resources[
+                            f"{node.name}.{dotted[len('self.'):]}"
+                        ] = kind
+
+        functions: dict[str, Any] = {}
+
+        def walk_function(
+            qualname: str,
+            func: ast.FunctionDef | ast.AsyncFunctionDef,
+            class_name: str | None,
+        ) -> None:
+            local: dict[str, str] = {}
+            for sub in ast.walk(func):
+                if isinstance(sub, ast.Assign) and isinstance(
+                    sub.targets[0], ast.Name
+                ):
+                    kind = _constructor_kind(sub.value)
+                    if kind is not None:
+                        local[sub.targets[0].id] = kind
+                elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+                    kind = _constructor_kind(sub.context_expr)
+                    if kind is not None and isinstance(
+                        sub.optional_vars, ast.Name
+                    ):
+                        local[sub.optional_vars.id] = kind
+
+            def resolve(expr: ast.expr) -> str | None:
+                dotted = dotted_name(expr)
+                if dotted is None:
+                    return None
+                if dotted in local:
+                    return f"{qualname}:{dotted}"
+                if dotted in module_resources:
+                    return dotted
+                if class_name is not None and dotted.startswith("self."):
+                    attr = dotted[len("self."):]
+                    # ``self._ctx.Queue`` style chains keep dots; only
+                    # direct attributes are class resources.
+                    if f"{class_name}.{attr}" in class_resources:
+                        return f"{class_name}.{attr}"
+                return None
+
+            walker = _FunctionWalker(qualname, resolve, local)
+            for stmt in func.body:
+                walker.visit(stmt)
+            if walker.events or walker.held_calls:
+                functions[qualname] = {
+                    "events": walker.events,
+                    "held_calls": walker.held_calls,
+                }
+            for rid, kind in local.items():
+                kinds[f"{qualname}:{rid}"] = kind
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk_function(stmt.name, stmt, None)
+            elif isinstance(stmt, ast.ClassDef):
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        walk_function(f"{stmt.name}.{member.name}", member, stmt.name)
+
+        kinds.update(module_resources)
+        kinds.update(class_resources)
+        if not functions:
+            return None
+        return {"kinds": kinds, "functions": functions}
+
+    # -- project pass ------------------------------------------------------
+
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        facts = project.facts.get(self.rule_id, {})
+        if not facts:
+            return
+
+        def global_rid(relpath: str, rid: str) -> str:
+            module = project.summaries.get(relpath, {}).get("module") or relpath
+            return f"{module}.{rid}"
+
+        # Direct acquisition events per call-graph node.
+        node_events: dict[str, set[str]] = {}
+        kinds: dict[str, str] = {}
+        for relpath in sorted(facts):
+            payload = facts[relpath]
+            for rid, kind in payload["kinds"].items():
+                kinds[global_rid(relpath, rid)] = kind
+            module = project.summaries.get(relpath, {}).get("module")
+            for qualname, info in payload["functions"].items():
+                node = f"{module}:{qualname}" if module else f"{relpath}:{qualname}"
+                node_events.setdefault(node, set()).update(
+                    global_rid(relpath, event[0]) for event in info["events"]
+                )
+
+        # Transitive acquisition sets through the call graph.
+        closure_cache: dict[str, set[str]] = {}
+
+        def acquired_closure(node: str) -> set[str]:
+            cached = closure_cache.get(node)
+            if cached is not None:
+                return cached
+            closure_cache[node] = set()  # cycle guard
+            acquired = set(node_events.get(node, ()))
+            if project.callgraph is not None:
+                for callee in project.callgraph.callees(node):
+                    acquired |= acquired_closure(callee)
+            closure_cache[node] = acquired
+            return acquired
+
+        # Edge set held -> acquired, with one representative site per edge.
+        edges: dict[tuple[str, str], tuple[str, int, int]] = {}
+
+        def add_edge(
+            held: str, acquired: str, relpath: str, line: int, col: int
+        ) -> None:
+            edges.setdefault((held, acquired), (relpath, line, col))
+
+        for relpath in sorted(facts):
+            payload = facts[relpath]
+            module = project.summaries.get(relpath, {}).get("module")
+            for qualname, info in sorted(payload["functions"].items()):
+                for rid, line, col, held in info["events"]:
+                    target = global_rid(relpath, rid)
+                    for holder in held:
+                        add_edge(
+                            global_rid(relpath, holder), target, relpath, line, col
+                        )
+                for callee, line, col, held in info["held_calls"]:
+                    resolved = None
+                    if project.callgraph is not None:
+                        resolved = resolve_call(project, relpath, qualname, callee)
+                    if resolved is None:
+                        continue
+                    for target in sorted(acquired_closure(resolved)):
+                        for holder in held:
+                            add_edge(
+                                global_rid(relpath, holder),
+                                target,
+                                relpath,
+                                line,
+                                col,
+                            )
+
+        yield from self._report_cycles(project, edges, kinds)
+
+    def _report_cycles(
+        self,
+        project: Any,
+        edges: dict[tuple[str, str], tuple[str, int, int]],
+        kinds: dict[str, str],
+    ) -> Iterator[Violation]:
+        graph: dict[str, set[str]] = {}
+        for held, acquired in edges:
+            graph.setdefault(held, set()).add(acquired)
+            graph.setdefault(acquired, set())
+
+        sccs = _tarjan(graph)
+        in_cycle: dict[str, frozenset[str]] = {}
+        for component in sccs:
+            if len(component) > 1:
+                for node in component:
+                    in_cycle[node] = component
+
+        for (held, acquired) in sorted(edges):
+            relpath, line, col = edges[(held, acquired)]
+            if held == acquired:
+                # Self-cycle: re-acquiring a non-reentrant resource.
+                if kinds.get(held) == "rlock":
+                    continue
+                yield self.project_violation(
+                    project,
+                    relpath,
+                    line,
+                    col,
+                    f"acquires {held} while already holding it; the resource "
+                    "is not reentrant, so this path self-deadlocks",
+                )
+                continue
+            component = in_cycle.get(held)
+            if component is not None and acquired in component:
+                members = " -> ".join(sorted(component))
+                yield self.project_violation(
+                    project,
+                    relpath,
+                    line,
+                    col,
+                    f"acquires {acquired} while holding {held}, closing an "
+                    f"acquisition-order cycle ({members}); a conflicting "
+                    "interleaving deadlocks",
+                )
+
+
+def _tarjan(graph: dict[str, set[str]]) -> list[frozenset[str]]:
+    """Iterative Tarjan SCC (recursion-free for deep graphs)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[frozenset[str]] = []
+    counter = 0
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, Any]] = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(frozenset(component))
+    return result

@@ -15,12 +15,20 @@ The check walks every submit/map dispatch site, resolves the dispatched
 callable within the module, and verifies it is a module-level ``def`` whose
 body neither declares ``global`` nor reads module-level names bound to
 mutable literals (list/dict/set).
+
+Dispatch targets *imported from another module* are invisible to the
+single-file walk, so the rule also summarises, per file, (a) the dispatch
+sites whose target is an imported name and (b) every module-level function's
+worker-safety facts (``global`` declarations, free reads of mutable module
+globals, nested-def names).  The project pass resolves each cross-module
+dispatch through the import table and applies the same checks at the
+dispatch site.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Any, Iterator
 
 from .base import FileContext, Rule, Violation, call_name, dotted_name
 
@@ -224,6 +232,121 @@ class ParallelDispatchRule(Rule):
                     f"state `{sub.id}`; pass it as an argument so each "
                     "dispatch ships an explicit value",
                 )
+
+    # -- cross-module pass -------------------------------------------------
+
+    def summarize(self, ctx: FileContext) -> Any | None:
+        module_funcs = _module_functions(ctx.tree)
+        mutable_globals = _mutable_module_globals(ctx.tree)
+
+        workers: dict[str, Any] = {}
+        for name, func in module_funcs.items():
+            locals_bound = _local_bindings(func)
+            globals_declared: list[str] = []
+            mutable_reads: list[str] = []
+            for sub in ast.walk(func):
+                if isinstance(sub, ast.Global):
+                    globals_declared.extend(sub.names)
+                elif (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id in mutable_globals
+                    and sub.id not in locals_bound
+                ):
+                    mutable_reads.append(sub.id)
+            if globals_declared or mutable_reads:
+                workers[name] = {
+                    "globals": sorted(set(globals_declared)),
+                    "mutable_reads": sorted(set(mutable_reads)),
+                }
+
+        dispatches: list[list[Any]] = []
+        if self.applies(ctx):
+            for node in ast.walk(ctx.tree):
+                if not (isinstance(node, ast.Call) and _is_dispatch_call(node)):
+                    continue
+                if not node.args:
+                    continue
+                target = node.args[0]
+                if isinstance(target, ast.Call):
+                    name = call_name(target)
+                    if name in ("partial", "functools.partial") and target.args:
+                        target = target.args[0]
+                dotted = dotted_name(target)
+                if dotted is None or dotted.split(".")[0] in ("self", "cls"):
+                    continue
+                # Locally defined targets are handled by the file pass.
+                if "." not in dotted and dotted in module_funcs:
+                    continue
+                dispatches.append([dotted, target.lineno, target.col_offset])
+
+        defined = sorted(module_funcs)
+        nested = sorted(self._nested_function_names(ctx.tree))
+        if not (workers or dispatches or nested or defined):
+            return None
+        return {
+            "workers": workers,
+            "dispatches": dispatches,
+            "defined": defined,
+            "nested": nested,
+        }
+
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        facts = project.facts.get(self.rule_id, {})
+        for relpath in sorted(facts):
+            for dotted, line, col in facts[relpath]["dispatches"]:
+                origin = project.resolve(relpath, dotted)
+                if origin is None:
+                    continue
+                split = project.split_module(origin)
+                if split is None:
+                    continue
+                target_module, qualname = split
+                if not qualname or "." in qualname:
+                    continue  # methods/attributes out of cross-module scope
+                target_relpath = project.by_module[target_module]
+                target_facts = facts.get(target_relpath)
+                if target_facts is None:
+                    continue
+                if (
+                    qualname in target_facts["nested"]
+                    and qualname not in target_facts["defined"]
+                ):
+                    yield self.project_violation(
+                        project,
+                        relpath,
+                        line,
+                        col,
+                        f"{dotted} resolves to a nested function in "
+                        f"{target_module}; closures cannot be pickled for "
+                        "the pool — promote it to module level",
+                    )
+                    continue
+                worker = target_facts["workers"].get(qualname)
+                if worker is None:
+                    continue
+                for name in worker["globals"]:
+                    yield self.project_violation(
+                        project,
+                        relpath,
+                        line,
+                        col,
+                        f"dispatched worker {target_module}.{qualname}() "
+                        f"declares `global {name}`; worker processes fork "
+                        "their own copies, so the mutation races and "
+                        "diverges",
+                    )
+                for name in worker["mutable_reads"]:
+                    yield self.project_violation(
+                        project,
+                        relpath,
+                        line,
+                        col,
+                        f"dispatched worker {target_module}.{qualname}() "
+                        f"reads module-level mutable state `{name}`; pass "
+                        "it as an argument so each dispatch ships an "
+                        "explicit value",
+                    )
 
     @staticmethod
     def _nested_function_names(tree: ast.Module) -> frozenset[str]:

@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 emitter for the analysis CLI.
+
+One ``run`` from the ``repro.analysis`` driver: every rule in the registry
+is described under ``tool.driver.rules`` (so viewers can show titles and
+rationale), new violations surface as ``error`` results, baselined
+(grandfathered) findings are emitted as ``note`` results carrying an
+external suppression, and parse failures get the synthetic ``PARSE`` rule.
+Output ordering is deterministic — same tree, same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .engine import ParseFailure
+from .rules import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_PARSE_RULE = {
+    "id": "PARSE",
+    "name": "UnparsableFile",
+    "shortDescription": {"text": "file could not be parsed"},
+    "fullDescription": {
+        "text": "unreadable or syntactically invalid files hide every other "
+        "finding, so they fail the lint outright"
+    },
+    "defaultConfiguration": {"level": "error"},
+}
+
+
+def _rule_descriptor(rule: Any) -> dict[str, Any]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.__class__.__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _location(path: str, line: int, col: int) -> dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": line, "startColumn": col},
+        }
+    }
+
+
+def _result(violation: Violation, *, suppressed: bool) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": violation.rule,
+        "level": "note" if suppressed else "error",
+        "message": {"text": violation.message},
+        "locations": [
+            _location(violation.path, violation.line, violation.col)
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "grandfathered by the reviewed baseline "
+                "(shrink-only)",
+            }
+        ]
+    return result
+
+
+def sarif_report(
+    new_violations: Sequence[Violation],
+    grandfathered: Sequence[Violation],
+    parse_failures: Sequence[ParseFailure],
+    rules: Iterable[Any],
+) -> dict[str, Any]:
+    """The complete SARIF document as a JSON-safe dict."""
+    results: list[dict[str, Any]] = []
+    for failure in sorted(
+        parse_failures, key=lambda f: (f.path, f.line, f.message)
+    ):
+        results.append(
+            {
+                "ruleId": "PARSE",
+                "level": "error",
+                "message": {"text": failure.message},
+                "locations": [_location(failure.path, failure.line, 1)],
+            }
+        )
+    for violation in sorted(new_violations):
+        results.append(_result(violation, suppressed=False))
+    for violation in sorted(grandfathered):
+        results.append(_result(violation, suppressed=True))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": (
+                            "https://github.com/repro/repro"
+                            "#determinism--numerical-safety-linter"
+                        ),
+                        "rules": [
+                            *(_rule_descriptor(rule) for rule in rules),
+                            _PARSE_RULE,
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -27,6 +27,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..runtime.errors import ConfigurationError
 from .envelope import SampleEnvelope
 
 __all__ = ["DeliveryChaosModel"]
@@ -81,19 +82,19 @@ class DeliveryChaosModel:
             (self.redelivery_rate, "redelivery_rate"),
         ):
             if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+                raise ConfigurationError(f"{label} must be in [0, 1], got {rate}")
         for bound, label in (
             (self.max_disorder, "max_disorder"),
             (self.redelivery_max_delay, "redelivery_max_delay"),
         ):
             if bound < 0:
-                raise ValueError(f"{label} must be >= 0, got {bound}")
+                raise ConfigurationError(f"{label} must be >= 0, got {bound}")
         if self.skew_magnitude < 0.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"skew_magnitude must be >= 0, got {self.skew_magnitude}"
             )
         if self.seed < 0:
-            raise ValueError(f"seed must be >= 0, got {self.seed}")
+            raise ConfigurationError(f"seed must be >= 0, got {self.seed}")
 
     @property
     def is_clean(self) -> bool:

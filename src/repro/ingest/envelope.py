@@ -29,7 +29,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..runtime.errors import EnvelopeValidationError
+from ..runtime.errors import ConfigurationError, EnvelopeValidationError
 
 __all__ = ["SampleEnvelope", "envelopes_from_matrix"]
 
@@ -112,12 +112,12 @@ def envelopes_from_matrix(
     """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 2:
-        raise ValueError(f"values must be 2-D (n_sensors, length), got {values.shape}")
+        raise ConfigurationError(f"values must be 2-D (n_sensors, length), got {values.shape}")
     if period <= 0.0:
-        raise ValueError(f"period must be > 0, got {period}")
+        raise ConfigurationError(f"period must be > 0, got {period}")
     n_sensors = values.shape[0]
     if skew is not None and len(skew) != n_sensors:
-        raise ValueError(
+        raise ConfigurationError(
             f"skew must give one offset per sensor ({n_sensors}), got {len(skew)}"
         )
     for t in range(values.shape[1]):

@@ -48,6 +48,7 @@ from typing import Any, Iterable, Iterator
 import numpy as np
 
 from ..runtime.errors import (
+    ConfigurationError,
     EnvelopeValidationError,
     FrontierStateError,
     SequenceConflictError,
@@ -113,27 +114,27 @@ class FrontierConfig:
 
     def __post_init__(self) -> None:
         if self.n_sensors < 1:
-            raise ValueError(f"n_sensors must be >= 1, got {self.n_sensors}")
+            raise ConfigurationError(f"n_sensors must be >= 1, got {self.n_sensors}")
         if self.disorder_horizon < 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"disorder_horizon must be >= 0, got {self.disorder_horizon}"
             )
         if self.late_policy not in LATE_POLICIES:
-            raise ValueError(
+            raise ConfigurationError(
                 f"late_policy must be one of {LATE_POLICIES}, got {self.late_policy!r}"
             )
         if not (math.isfinite(self.period) and self.period > 0.0):
-            raise ValueError(f"period must be finite and > 0, got {self.period}")
+            raise ConfigurationError(f"period must be finite and > 0, got {self.period}")
         if not math.isfinite(self.epoch):
-            raise ValueError(f"epoch must be finite, got {self.epoch}")
+            raise ConfigurationError(f"epoch must be finite, got {self.epoch}")
         if self.skew is not None:
             if len(self.skew) != self.n_sensors:
-                raise ValueError(
+                raise ConfigurationError(
                     f"skew must give one offset per sensor ({self.n_sensors}), "
                     f"got {len(self.skew)}"
                 )
             if not all(math.isfinite(s) for s in self.skew):
-                raise ValueError("skew offsets must all be finite")
+                raise ConfigurationError("skew offsets must all be finite")
             object.__setattr__(self, "skew", tuple(float(s) for s in self.skew))
 
 

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .errors import ConfigurationError
+
 __all__ = ["RetryPolicy"]
 
 
@@ -48,21 +50,21 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.base_delay < 0.0:
-            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+            raise ConfigurationError(f"base_delay must be >= 0, got {self.base_delay}")
         if self.multiplier < 1.0:
-            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+            raise ConfigurationError(f"multiplier must be >= 1, got {self.multiplier}")
         if self.max_delay < self.base_delay:
-            raise ValueError(
+            raise ConfigurationError(
                 f"max_delay ({self.max_delay}) must be >= base_delay "
                 f"({self.base_delay})"
             )
         if self.jitter < 0.0:
-            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
         if self.seed < 0:
             # np.random.SeedSequence entropy must be non-negative.
-            raise ValueError(f"seed must be >= 0, got {self.seed}")
+            raise ConfigurationError(f"seed must be >= 0, got {self.seed}")
 
     def delay(self, round_index: int, attempt: int) -> float:
         """Backoff before retrying ``round_index`` after failed ``attempt``.
@@ -72,7 +74,7 @@ class RetryPolicy:
         crashed one would have.
         """
         if attempt < 0:
-            raise ValueError(f"attempt must be >= 0, got {attempt}")
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
         raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
         if self.jitter <= 0.0 or raw <= 0.0:
             return raw

@@ -31,6 +31,8 @@ from typing import Any
 
 import numpy as np
 
+from .errors import ConfigurationError
+
 __all__ = ["BreakerState", "BreakerPolicy", "SensorBreaker", "BreakerBank"]
 
 
@@ -54,13 +56,13 @@ class BreakerPolicy:
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"failure_threshold must be >= 0, got {self.failure_threshold}"
             )
         if self.open_rounds < 1:
-            raise ValueError(f"open_rounds must be >= 1, got {self.open_rounds}")
+            raise ConfigurationError(f"open_rounds must be >= 1, got {self.open_rounds}")
         if self.probation_rounds < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"probation_rounds must be >= 1, got {self.probation_rounds}"
             )
 
@@ -146,7 +148,7 @@ class BreakerBank:
 
     def __init__(self, n_sensors: int, policy: BreakerPolicy) -> None:
         if n_sensors < 1:
-            raise ValueError(f"n_sensors must be >= 1, got {n_sensors}")
+            raise ConfigurationError(f"n_sensors must be >= 1, got {n_sensors}")
         self.policy = policy
         self._breakers = [SensorBreaker(policy) for _ in range(n_sensors)]
         # True while every breaker is CLOSED with a zero failure streak —
@@ -172,7 +174,7 @@ class BreakerBank:
         """
         faulty = np.asarray(faulty, dtype=bool)
         if faulty.shape != (len(self._breakers),):
-            raise ValueError(
+            raise ConfigurationError(
                 f"expected {len(self._breakers)} fault verdicts, got {faulty.shape}"
             )
         if self._idle and not bool(faulty.any()):

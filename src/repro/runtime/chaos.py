@@ -21,6 +21,8 @@ from pathlib import Path
 
 import numpy as np
 
+from .errors import ConfigurationError
+
 __all__ = ["ChaosModel"]
 
 # Channel tags decorrelate the fate/corruption draws under one seed.
@@ -62,16 +64,16 @@ class ChaosModel:
             (self.corrupt_rate, "corrupt_rate"),
         ):
             if not 0.0 <= rate < 1.0:
-                raise ValueError(f"{label} must be in [0, 1), got {rate}")
+                raise ConfigurationError(f"{label} must be in [0, 1), got {rate}")
         if self.crash_rate + self.slow_rate >= 1.0:
-            raise ValueError(
+            raise ConfigurationError(
                 "crash_rate + slow_rate must be < 1, got "
                 f"{self.crash_rate} + {self.slow_rate}"
             )
         if self.slow_seconds < 0.0:
-            raise ValueError(f"slow_seconds must be >= 0, got {self.slow_seconds}")
+            raise ConfigurationError(f"slow_seconds must be >= 0, got {self.slow_seconds}")
         if self.seed < 0:
-            raise ValueError(f"seed must be >= 0, got {self.seed}")
+            raise ConfigurationError(f"seed must be >= 0, got {self.seed}")
 
     @property
     def is_clean(self) -> bool:

@@ -17,6 +17,8 @@ from __future__ import annotations
 import time
 from typing import Protocol
 
+from .errors import ConfigurationError
+
 __all__ = ["Clock", "MonotonicClock", "VirtualClock"]
 
 
@@ -61,12 +63,12 @@ class VirtualClock:
 
     def sleep(self, seconds: float) -> None:
         if seconds < 0.0:
-            raise ValueError(f"cannot sleep a negative duration ({seconds})")
+            raise ConfigurationError(f"cannot sleep a negative duration ({seconds})")
         self._now += seconds
         self.slept += seconds
 
     def advance(self, seconds: float) -> None:
         """Move time forward without counting it as supervisor sleep."""
         if seconds < 0.0:
-            raise ValueError(f"cannot advance time backwards ({seconds})")
+            raise ConfigurationError(f"cannot advance time backwards ({seconds})")
         self._now += seconds

@@ -5,6 +5,15 @@ code switches on exception class instead of string-matching messages:
 
 ``SupervisorError``
     Base of everything raised by :mod:`repro.runtime`.
+``ConfigurationError``
+    A runtime/ingest component was handed invalid parameters — at
+    construction (a bad policy/config value) or at a call site (a sample
+    block of the wrong shape).  Also derives from :class:`ValueError`, so
+    pre-taxonomy callers catching ``ValueError`` keep working.
+``QueueEmptyError``
+    Popping from an empty ingest queue.  Also derives from
+    :class:`IndexError` (the builtin ``deque``/``list`` convention it
+    replaces).
 ``TransientRoundError``
     A round failed in a way worth retrying (the supervisor restores the
     last valid checkpoint, replays, backs off and re-attempts).  Subtypes:
@@ -44,6 +53,8 @@ from ..core.streaming import InvalidSampleError, PushError
 
 __all__ = [
     "SupervisorError",
+    "ConfigurationError",
+    "QueueEmptyError",
     "TransientRoundError",
     "RoundTimeoutError",
     "RoundCrashError",
@@ -62,6 +73,21 @@ __all__ = [
 
 class SupervisorError(Exception):
     """Base class for every error raised by the streaming runtime."""
+
+
+class ConfigurationError(SupervisorError, ValueError):
+    """Invalid parameters handed to a runtime/ingest component.
+
+    Covers both construction-time values (a negative retry budget) and
+    call-time arguments (a sample block of the wrong shape).  Derives from
+    :class:`ValueError` too: the runtime layers raised plain ``ValueError``
+    before the taxonomy existed, and callers validating inputs with
+    ``except ValueError`` must keep working (R14 migration).
+    """
+
+
+class QueueEmptyError(SupervisorError, IndexError):
+    """Popped an empty ingest queue (also an :class:`IndexError`)."""
 
 
 class TransientRoundError(SupervisorError):

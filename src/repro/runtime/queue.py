@@ -29,7 +29,7 @@ from collections import deque
 
 import numpy as np
 
-from .errors import QueueOverflowError
+from .errors import ConfigurationError, QueueEmptyError, QueueOverflowError
 
 __all__ = ["SHED_POLICIES", "IngestQueue"]
 
@@ -41,9 +41,9 @@ class IngestQueue:
 
     def __init__(self, capacity: int, policy: str = "drop_oldest") -> None:
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         if policy not in SHED_POLICIES:
-            raise ValueError(
+            raise ConfigurationError(
                 f"policy must be one of {SHED_POLICIES}, got {policy!r}"
             )
         self.capacity = capacity
@@ -80,7 +80,7 @@ class IngestQueue:
     def pop(self) -> np.ndarray:
         """Dequeue the oldest pending sample."""
         if not self._queue:
-            raise IndexError("ingest queue is empty")
+            raise QueueEmptyError("ingest queue is empty")
         return self._queue.popleft()
 
     def clear(self) -> None:

@@ -31,6 +31,7 @@ from typing import Any
 
 from ..core.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from ..core.streaming import StreamingCAD
+from .errors import ConfigurationError
 
 __all__ = ["CheckpointRotation", "Generation", "RecoveredStream"]
 
@@ -67,7 +68,7 @@ class CheckpointRotation:
 
     def __init__(self, directory: str | Path, keep: int = 3) -> None:
         if keep < 1:
-            raise ValueError(f"keep must be >= 1, got {keep}")
+            raise ConfigurationError(f"keep must be >= 1, got {keep}")
         self.directory = Path(directory)
         self.keep = keep
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -88,7 +89,7 @@ class CheckpointRotation:
         stamped with format/version/counters and written to the sidecar.
         """
         if round_index < 0:
-            raise ValueError(f"round_index must be >= 0, got {round_index}")
+            raise ConfigurationError(f"round_index must be >= 0, got {round_index}")
         path = self.directory / f"ckpt-{round_index:010d}.npz"
         sidecar = path.with_suffix(".json")
         save_checkpoint(stream, path)  # atomic tmp + fsync + os.replace

@@ -68,7 +68,12 @@ from .backoff import RetryPolicy
 from .breaker import BreakerBank, BreakerPolicy
 from .chaos import ChaosModel
 from .clock import Clock, MonotonicClock
-from .errors import RecoveryError, RetryBudgetExceededError, RoundCrashError
+from .errors import (
+    ConfigurationError,
+    RecoveryError,
+    RetryBudgetExceededError,
+    RoundCrashError,
+)
 from .health import HealthSnapshot
 from .queue import SHED_POLICIES, IngestQueue
 from .rotation import CheckpointRotation, RecoveredStream
@@ -112,28 +117,28 @@ class SupervisorConfig:
 
     def __post_init__(self) -> None:
         if self.round_deadline is not None and self.round_deadline <= 0.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"round_deadline must be > 0 or None, got {self.round_deadline}"
             )
         if not 0.0 < self.sensor_fault_threshold <= 1.0:
-            raise ValueError(
+            raise ConfigurationError(
                 "sensor_fault_threshold must be in (0, 1], got "
                 f"{self.sensor_fault_threshold}"
             )
         if self.checkpoint_every < 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
         if self.keep_checkpoints < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
             )
         if self.queue_capacity < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"queue_capacity must be >= 1, got {self.queue_capacity}"
             )
         if self.shed_policy not in SHED_POLICIES:
-            raise ValueError(
+            raise ConfigurationError(
                 f"shed_policy must be one of {SHED_POLICIES}, got {self.shed_policy!r}"
             )
 
@@ -184,19 +189,19 @@ class StreamSupervisor:
     ) -> None:
         self._sup = supervisor if supervisor is not None else SupervisorConfig()
         if self._sup.breaker.enabled and not config.allow_missing:
-            raise ValueError(
+            raise ConfigurationError(
                 "sensor quarantine masks readings as NaN and needs "
                 "CADConfig(allow_missing=True); set it, or disable breakers "
                 "with BreakerPolicy(failure_threshold=0)"
             )
         if frontier is not None:
             if frontier.config.n_sensors != n_sensors:
-                raise ValueError(
+                raise ConfigurationError(
                     f"frontier assembles {frontier.config.n_sensors}-sensor "
                     f"rows, supervisor expects {n_sensors}"
                 )
             if frontier.config.late_policy == "nan_patch" and not config.allow_missing:
-                raise ValueError(
+                raise ConfigurationError(
                     'late_policy="nan_patch" emits NaN-patched rows and needs '
                     "CADConfig(allow_missing=True); set it, or use "
                     'late_policy="drop"'
@@ -303,7 +308,7 @@ class StreamSupervisor:
         """
         samples = np.array(samples, dtype=np.float64)  # private copy
         if samples.ndim != 2 or samples.shape[0] != self._n_sensors:
-            raise ValueError(
+            raise ConfigurationError(
                 f"expected ({self._n_sensors}, t) block, got shape {samples.shape}"
             )
         records: list[RoundRecord] = []
@@ -323,7 +328,7 @@ class StreamSupervisor:
 
     def _require_frontier(self) -> "IngestFrontier":
         if self._frontier is None:
-            raise ValueError(
+            raise ConfigurationError(
                 "no IngestFrontier attached; construct the supervisor with "
                 "frontier=IngestFrontier(...) to ingest envelopes"
             )
@@ -410,7 +415,7 @@ class StreamSupervisor:
     def _validate(self, sample: np.ndarray) -> np.ndarray:
         sample = np.array(sample, dtype=np.float64).reshape(-1)  # fresh copy
         if sample.shape != (self._n_sensors,):
-            raise ValueError(
+            raise ConfigurationError(
                 f"expected sample of {self._n_sensors} readings, got {sample.shape}"
             )
         return sample
@@ -614,25 +619,13 @@ class StreamSupervisor:
         self._replay_base = restored.stream.samples_seen
         self._replay_raw.clear()
         self._replay_masked.clear()
-        self._restore_runtime_state(restored.runtime_state)
-        # Frontier reorder state resumes only across process death (here):
-        # an in-process retry keeps the *live* frontier, because rows it
-        # already flushed sit in the replay buffer and rewinding it would
-        # re-flush them on the next envelope.
-        frontier_state = restored.runtime_state.get("frontier")
-        if self._frontier is not None and frontier_state is not None:
-            self._frontier.restore_state(frontier_state)
-        health = restored.runtime_state.get("health", {})
-        self._rounds_completed = int(health.get("rounds_completed", 0))
-        self._degraded_rounds = int(health.get("degraded_rounds", 0))
-        self._retries = int(health.get("retries", 0))
-        self._slow_rounds = int(health.get("slow_rounds", 0))
-        self._crashes_recovered = int(health.get("crashes_recovered", 0))
-        self._checkpoints_written = int(health.get("checkpoints_written", 0))
+        self._restore_runtime_state(restored.runtime_state, process_restart=True)
         self._last_checkpoint_round = restored.generation.round_index
         self._rounds_since_checkpoint = 0
 
-    def _restore_runtime_state(self, state: dict[str, Any]) -> None:
+    def _restore_runtime_state(
+        self, state: dict[str, Any], *, process_restart: bool = False
+    ) -> None:
         breakers = state.get("breakers")
         if isinstance(breakers, list) and len(breakers) == self._n_sensors:
             self._bank = BreakerBank.from_state(self._sup.breaker, breakers)
@@ -651,6 +644,21 @@ class StreamSupervisor:
             self._max_emitted_index, int(state.get("max_emitted_index", -1))
         )
         restore_pool_generation(int(state.get("pool_generation", 0)))
+        if process_restart:
+            # Frontier reorder state resumes only across process death: an
+            # in-process retry keeps the *live* frontier, because rows it
+            # already flushed sit in the replay buffer and rewinding it
+            # would re-flush them on the next envelope.
+            frontier_state = state.get("frontier")
+            if self._frontier is not None and frontier_state is not None:
+                self._frontier.restore_state(frontier_state)
+            health = state.get("health", {})
+            self._rounds_completed = int(health.get("rounds_completed", 0))
+            self._degraded_rounds = int(health.get("degraded_rounds", 0))
+            self._retries = int(health.get("retries", 0))
+            self._slow_rounds = int(health.get("slow_rounds", 0))
+            self._crashes_recovered = int(health.get("crashes_recovered", 0))
+            self._checkpoints_written = int(health.get("checkpoints_written", 0))
 
     def _recover_and_replay(self, round_index: int, attempt: int) -> None:
         """Back off, restore the newest valid state, replay up to the

@@ -98,11 +98,54 @@ class TestJsonOutput:
 
 
 class TestListRules:
-    def test_lists_all_eight(self, project):
+    def test_lists_all_fourteen(self, project):
         result = run_cli("--list-rules", cwd=project)
         assert result.returncode == 0
-        for rule_id in (f"R{i}" for i in range(1, 9)):
+        for rule_id in (f"R{i}" for i in range(1, 15)):
             assert rule_id in result.stdout
+
+
+class TestSarifCli:
+    def test_sarif_format_on_stdout(self, project):
+        result = run_cli("pkg/dirty.py", "--format", "sarif", cwd=project)
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert any(r["ruleId"] == "R6" for r in results)
+
+    def test_sarif_out_writes_file_alongside_text(self, project):
+        result = run_cli(
+            "pkg/dirty.py", "--sarif-out", "out.sarif", cwd=project
+        )
+        assert result.returncode == 1
+        assert "R6" in result.stdout  # text format still printed
+        payload = json.loads((project / "out.sarif").read_text())
+        assert payload["runs"][0]["results"]
+
+
+class TestCacheCli:
+    def test_warm_run_output_is_identical(self, project):
+        cold = run_cli(
+            "pkg", "--cache-dir", ".lint-cache", "--format", "json",
+            cwd=project,
+        )
+        warm = run_cli(
+            "pkg", "--cache-dir", ".lint-cache", "--format", "json",
+            cwd=project,
+        )
+        assert cold.returncode == warm.returncode == 1
+        cold_payload = json.loads(cold.stdout)
+        warm_payload = json.loads(warm.stdout)
+        assert cold_payload["violations"] == warm_payload["violations"]
+        assert warm_payload["cache"]["hits"] == 2
+        assert warm_payload["cache"]["misses"] == 0
+        assert warm_payload["cache"]["project_from_cache"] is True
+
+    def test_text_summary_reports_cache_counters(self, project):
+        run_cli("pkg", "--cache-dir", ".lint-cache", cwd=project)
+        warm = run_cli("pkg", "--cache-dir", ".lint-cache", cwd=project)
+        assert "cache: 2 hits, 0 misses" in warm.stdout
 
 
 class TestBaselineCli:
