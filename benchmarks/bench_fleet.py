@@ -1,0 +1,431 @@
+"""Multi-tenant fleet soak: bit-identity and throughput vs solo runs.
+
+Standalone script (like ``bench_soak.py``) — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py            # full soak
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick    # CI smoke
+
+Three scenarios, one claim: an N-tenant :class:`repro.fleet.FleetManager`
+multiplexed over one shared worker pool emits, per tenant, **exactly**
+the records of N solo sequential runs.
+
+``fleet-identity``
+    Fault-free: N tenants with distinct feeds (and two *engine-check*
+    tenants sharing one feed on different engines) streamed through the
+    fleet with stage-A offload.  Every tenant's records must be
+    bit-identical to its solo ``bare_run`` oracle, and the two
+    engine-check tenants must agree with each other (the engine-identity
+    gate extended to fleet outputs).  Aggregate fleet throughput is
+    measured against the single-tenant baseline; the >= 3x scaling gate
+    is enforced only where the host has enough cores to make scaling
+    physically possible (recorded either way).
+``fleet-chaos-kill``
+    Per-tenant crash chaos + rotated checkpoints under a fleet manifest;
+    the manager is dropped cold mid-stream and a new one resumes every
+    tenant from the v4 manifest.  The concatenated (index-deduplicated)
+    records must equal the fault-free oracles.
+``fleet-delivery``
+    Envelope ingest: each tenant's feed is shuffled and redelivered by a
+    seeded :class:`repro.ingest.DeliveryChaosModel` within its frontier's
+    disorder horizon, with tenants' deliveries interleaved arbitrarily.
+    One tenant's delivery faults must never perturb another tenant's
+    rounds: all tenants must stay bit-identical to their oracles.
+
+Results go to ``BENCH_fleet.json`` (uploaded by the fleet-soak CI job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CADConfig
+from repro.core.parallel import shutdown_worker_pool
+from repro.fleet import FleetConfig, FleetManager, TenantSpec, anomaly_feed
+from repro.ingest import DeliveryChaosModel, FrontierConfig, envelopes_from_matrix
+from repro.runtime import ChaosModel, SupervisorConfig, VirtualClock
+
+from bench_soak import bare_run, identical, synthetic_values
+
+
+def make_history(values: np.ndarray, window: int):
+    from repro.timeseries import MultivariateTimeSeries
+
+    return MultivariateTimeSeries(values, allow_missing=True)
+
+
+def tenant_feeds(tenants, n, t_total, window, seed):
+    """Per-tenant (history, live) pairs from distinct synthetic seeds."""
+    feeds = {}
+    for i, tenant in enumerate(tenants):
+        values = synthetic_values(n, t_total + 4 * window, seed + 17 * i)
+        history = make_history(values[:, : 4 * window], window)
+        feeds[tenant] = (history, values[:, 4 * window :])
+    return feeds
+
+
+def fleet_stream(manager, tenants, feeds, *, kill_and_resume=None):
+    """Drive a fleet sample-by-sample; returns (records, seconds, manager).
+
+    ``kill_and_resume`` is ``(sample_index, remake)``: at that index the
+    manager is dropped cold (no finish, no checkpoint flush) and
+    ``remake()`` builds the successor, which resumes from the manifest
+    and is re-fed each tenant's stream from its restored position.
+    """
+    t_total = feeds[tenants[0]][1].shape[1]
+    records = []
+    start = time.perf_counter()
+    index = 0
+    while index < t_total:
+        for tenant in tenants:
+            manager.submit(tenant, feeds[tenant][1][:, index])
+        records.extend(manager.pump())
+        if kill_and_resume is not None and index == kill_and_resume[0]:
+            del manager
+            manager = kill_and_resume[1]()
+            for tenant in tenants:
+                resume_from = manager.supervisor(tenant).stream.samples_seen
+                for j in range(resume_from, index + 1):
+                    manager.submit(tenant, feeds[tenant][1][:, j])
+            records.extend(manager.drain())
+            kill_and_resume = None
+        index += 1
+    records.extend(manager.finish())
+    return records, time.perf_counter() - start, manager
+
+
+def split_by_tenant(records, tenants):
+    by_tenant = {tenant: [] for tenant in tenants}
+    for fleet_record in records:
+        by_tenant[fleet_record.tenant].append(fleet_record.record)
+    return by_tenant
+
+
+def dedup_by_index(records):
+    """Drop re-emitted rounds after a resume (stable on sorted index)."""
+    records = sorted(records, key=lambda r: r.index)
+    unique = []
+    for record in records:
+        if not unique or record.index != unique[-1].index:
+            unique.append(record)
+    return unique
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke (seconds)")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_fleet.json"), help="output JSON path"
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        n, window, step, rounds, n_tenants, jobs = 16, 64, 8, 60, 3, 2
+    else:
+        n, window, step, rounds, n_tenants, jobs = 32, 128, 8, 250, 8, 4
+    t_total = window + step * (rounds - 1)
+    shards = 16
+    cpus = os.cpu_count() or 1
+
+    failures: list[str] = []
+    results: dict[str, dict] = {}
+
+    def config(engine="fast"):
+        return CADConfig(
+            window=window, step=step, engine=engine, allow_missing=True
+        )
+
+    def spec(tenant, engine="fast", **kwargs):
+        return TenantSpec(tenant, config(engine), n, **kwargs)
+
+    print(
+        f"fleet soak: {n_tenants} tenants x {rounds} rounds  "
+        f"n={n} w={window} s={step}  jobs={jobs} shards={shards}  cpus={cpus}"
+    )
+
+    # ------------------------------------------------------------- #
+    # Scenario 1: fault-free identity + throughput scaling
+    # ------------------------------------------------------------- #
+    tenants = [f"tenant-{i:02d}" for i in range(n_tenants)]
+    feeds = tenant_feeds(tenants, n, t_total, window, args.seed)
+    # Engine-check pair: same feed, different engines, must agree.
+    eng_feed = tenant_feeds(["engcheck"], n, t_total, window, args.seed + 999)[
+        "engcheck"
+    ]
+    eng_tenants = ["engcheck-fast", "engcheck-ref"]
+    feeds.update({t: eng_feed for t in eng_tenants})
+
+    oracles = {}
+    solo_seconds = {}
+    for tenant in tenants:
+        oracles[tenant], solo_seconds[tenant] = bare_run(
+            config(), feeds[tenant][0], feeds[tenant][1]
+        )
+    oracles["engcheck-fast"], _ = bare_run(config(), *eng_feed)
+    oracles["engcheck-ref"], _ = bare_run(config("reference"), *eng_feed)
+
+    all_tenants = tenants + eng_tenants
+    manager = FleetManager(
+        [spec(t) for t in tenants]
+        + [spec("engcheck-fast"), spec("engcheck-ref", engine="reference")],
+        fleet=FleetConfig(shards=shards, seed=args.seed, quantum=64, offload_jobs=jobs),
+    )
+    manager.warm_up({t: feeds[t][0] for t in all_tenants})
+    records, fleet_seconds, manager = fleet_stream(manager, all_tenants, feeds)
+    by_tenant = split_by_tenant(records, all_tenants)
+
+    per_tenant_identical = {
+        tenant: identical(by_tenant[tenant], oracles[tenant])
+        for tenant in all_tenants
+    }
+    identity_ok = all(per_tenant_identical.values())
+    engine_identity = identical(by_tenant["engcheck-fast"], by_tenant["engcheck-ref"])
+    if not identity_ok:
+        broken = sorted(t for t, ok in per_tenant_identical.items() if not ok)
+        failures.append(f"fleet-identity: tenants diverged from solo oracles: {broken}")
+    if not engine_identity:
+        failures.append("fleet-identity: fast and reference engines diverged in-fleet")
+
+    total_rounds = sum(len(by_tenant[t]) for t in all_tenants)
+    solo_total = sum(solo_seconds.values())
+    single_rps = len(oracles[tenants[0]]) / max(solo_seconds[tenants[0]], 1e-9)
+    aggregate_rps = total_rounds / max(fleet_seconds, 1e-9)
+    speedup = aggregate_rps / max(single_rps, 1e-9)
+    throughput_gate = (not args.quick) and cpus >= 8
+    if throughput_gate and speedup < 3.0:
+        failures.append(
+            f"fleet-identity: aggregate throughput {speedup:.2f}x single-tenant, "
+            "gate requires >= 3x at equal pool size"
+        )
+    health = manager.health()
+    print(
+        f"fleet-identity    {total_rounds} rounds in {fleet_seconds:6.2f}s  "
+        f"(solo total {solo_total:6.2f}s)  aggregate {aggregate_rps:7.1f} r/s  "
+        f"single {single_rps:7.1f} r/s  speedup {speedup:4.2f}x  "
+        f"identical={identity_ok} engines={engine_identity}"
+    )
+    results["fleet_identity"] = {
+        "tenants": len(all_tenants),
+        "rounds_total": total_rounds,
+        "seconds": round(fleet_seconds, 3),
+        "solo_seconds_total": round(solo_total, 3),
+        "records_identical": identity_ok,
+        "engine_identity": engine_identity,
+        "per_tenant_identical": per_tenant_identical,
+        "aggregate_rounds_per_sec": round(aggregate_rps, 2),
+        "single_rounds_per_sec": round(single_rps, 2),
+        "speedup_vs_single": round(speedup, 3),
+        "throughput_gate_enforced": throughput_gate,
+        "offloaded_rounds": health.offloaded_rounds,
+        "abnormal_feed": len(anomaly_feed(records)),
+    }
+    if health.offloaded_rounds == 0:
+        failures.append("fleet-identity: no rounds were offloaded to the pool")
+
+    # ------------------------------------------------------------- #
+    # Scenario 2: chaos + cold kill + manifest resume
+    # ------------------------------------------------------------- #
+    chaos_tenants = tenants[: max(3, n_tenants // 2)]
+    kill_at = t_total // 2
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest_dir = Path(tmp) / "fleet"
+
+        def remake(resume: bool = True) -> FleetManager:
+            return FleetManager(
+                [
+                    spec(
+                        tenant,
+                        supervisor=SupervisorConfig(
+                            queue_capacity=4096, checkpoint_every=7
+                        ),
+                        chaos=ChaosModel(seed=args.seed + i, crash_rate=0.04),
+                    )
+                    for i, tenant in enumerate(chaos_tenants)
+                ],
+                fleet=FleetConfig(
+                    shards=shards, seed=args.seed, quantum=64, offload_jobs=jobs
+                ),
+                manifest_dir=manifest_dir,
+                clock=VirtualClock(),
+                resume=resume,
+            )
+
+        manager = remake(resume=False)
+        manager.warm_up({t: feeds[t][0] for t in chaos_tenants})
+        resumed_positions = {}
+
+        def resumed_manager() -> FleetManager:
+            successor = remake()
+            for tenant in chaos_tenants:
+                resumed_positions[tenant] = successor.supervisor(
+                    tenant
+                ).stream.samples_seen
+            return successor
+
+        records, chaos_seconds, manager = fleet_stream(
+            manager,
+            chaos_tenants,
+            feeds,
+            kill_and_resume=(kill_at, resumed_manager),
+        )
+        health = manager.health()
+
+    by_tenant = split_by_tenant(records, chaos_tenants)
+    chaos_identical = all(
+        identical(dedup_by_index(by_tenant[tenant]), oracles[tenant])
+        for tenant in chaos_tenants
+    )
+    if not chaos_identical:
+        failures.append("fleet-chaos-kill: records diverged from fault-free oracles")
+    if health.crashes_recovered == 0:
+        failures.append("fleet-chaos-kill: chaos never crashed a round (proved nothing)")
+    if health.checkpoints_written == 0:
+        failures.append("fleet-chaos-kill: no checkpoints were written")
+    if any(resumed_positions[t] == 0 for t in chaos_tenants):
+        failures.append(
+            "fleet-chaos-kill: a tenant resumed from scratch (manifest "
+            f"restored positions {resumed_positions})"
+        )
+    print(
+        f"fleet-chaos-kill  {sum(len(v) for v in by_tenant.values())} records "
+        f"in {chaos_seconds:6.2f}s  crashes {health.crashes_recovered}  "
+        f"fallbacks {health.stage_fallbacks}  checkpoints "
+        f"{health.checkpoints_written}  identical={chaos_identical}"
+    )
+    results["fleet_chaos_kill"] = {
+        "tenants": len(chaos_tenants),
+        "kill_at_sample": kill_at,
+        "seconds": round(chaos_seconds, 3),
+        "records_identical": chaos_identical,
+        "crashes_recovered": health.crashes_recovered,
+        "retries": health.retries,
+        "stage_fallbacks": health.stage_fallbacks,
+        "cache_resyncs": health.cache_resyncs,
+        "checkpoints_written": health.checkpoints_written,
+        "resumed_samples_seen": {
+            t: resumed_positions[t] for t in sorted(resumed_positions)
+        },
+    }
+
+    # ------------------------------------------------------------- #
+    # Scenario 3: per-tenant delivery chaos, interleaved tenants
+    # ------------------------------------------------------------- #
+    horizon = 6
+    delivery_tenants = tenants[: max(3, n_tenants // 2)]
+    deliveries = {}
+    for i, tenant in enumerate(delivery_tenants):
+        clean = list(
+            envelopes_from_matrix(feeds[tenant][1], tenant=tenant)
+        )
+        chaos = DeliveryChaosModel(
+            seed=args.seed + 31 * i,
+            out_of_order_rate=0.25,
+            max_disorder=horizon,
+            redelivery_rate=0.05,
+        )
+        deliveries[tenant] = chaos.deliver(clean)
+
+    manager = FleetManager(
+        [
+            spec(
+                tenant,
+                frontier=FrontierConfig(n_sensors=n, disorder_horizon=horizon),
+            )
+            for tenant in delivery_tenants
+        ],
+        fleet=FleetConfig(shards=shards, seed=args.seed, quantum=64, offload_jobs=jobs),
+    )
+    manager.warm_up({t: feeds[t][0] for t in delivery_tenants})
+    records = []
+    start = time.perf_counter()
+    cursors = {t: 0 for t in delivery_tenants}
+    burst = 4 * n  # envelopes per tenant per scheduling turn
+    remaining = True
+    while remaining:
+        remaining = False
+        for tenant in delivery_tenants:
+            queue = deliveries[tenant]
+            cursor = cursors[tenant]
+            if cursor < len(queue):
+                remaining = True
+                for envelope in queue[cursor : cursor + burst]:
+                    manager.ingest(envelope)
+                cursors[tenant] = cursor + burst
+        records.extend(manager.pump())
+    records.extend(manager.drain())
+    records.extend(manager.finish())
+    delivery_seconds = time.perf_counter() - start
+    health = manager.health()
+
+    by_tenant = split_by_tenant(records, delivery_tenants)
+    delivery_identical = all(
+        identical(by_tenant[tenant], oracles[tenant]) for tenant in delivery_tenants
+    )
+    if not delivery_identical:
+        failures.append("fleet-delivery: delivery chaos perturbed a tenant's rounds")
+    if health.samples_reordered == 0:
+        failures.append("fleet-delivery: nothing was reordered (proved nothing)")
+    if health.samples_deduped == 0:
+        failures.append("fleet-delivery: nothing was redelivered (proved nothing)")
+    print(
+        f"fleet-delivery    {sum(len(v) for v in by_tenant.values())} records "
+        f"in {delivery_seconds:6.2f}s  reordered {health.samples_reordered}  "
+        f"deduped {health.samples_deduped}  identical={delivery_identical}"
+    )
+    results["fleet_delivery"] = {
+        "tenants": len(delivery_tenants),
+        "horizon": horizon,
+        "seconds": round(delivery_seconds, 3),
+        "records_identical": delivery_identical,
+        "samples_reordered": health.samples_reordered,
+        "samples_deduped": health.samples_deduped,
+    }
+
+    shutdown_worker_pool()
+    results["all_outputs_identical"] = bool(
+        identity_ok and engine_identity and chaos_identical and delivery_identical
+    )
+
+    payload = {
+        "benchmark": "fleet_soak",
+        "quick": args.quick,
+        "config": {
+            "tenants": n_tenants,
+            "rounds_per_tenant": rounds,
+            "sensors": n,
+            "window": window,
+            "step": step,
+            "shards": shards,
+            "offload_jobs": jobs,
+            "seed": args.seed,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+            "cpus": cpus,
+        },
+        "results": results,
+        "failures": failures,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("fleet soak OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -200,7 +200,12 @@ class CheckpointContractRule(ProjectRule):
             if not _is_writer_name(last):
                 continue
             readers = self._find_readers(
-                qualname, last, module_facts, all_facts, relpath
+                qualname,
+                last,
+                module_facts,
+                all_facts,
+                relpath,
+                summary.get("defs", {}),
             )
             if not readers:
                 continue
@@ -234,12 +239,20 @@ class CheckpointContractRule(ProjectRule):
         module_facts: dict[str, Any],
         all_facts: dict[str, Any],
         relpath: str,
+        module_defs: dict[str, Any],
     ) -> list[tuple[str, str]]:
         prefix = writer_qual[: -len(writer_last)]  # "" or "Class."
         candidates = _reader_names(writer_last)
         # Same class, then same module (any prefix), then global unique.
         for name in candidates:
             if prefix + name in module_facts:
+                return [(relpath, prefix + name)]
+        # An exact-name reader with no key facts of its own is still the
+        # writer's counterpart (a thin wrapper delegating to helpers);
+        # pairing with it lets the call-graph closure pull in the
+        # helpers' reads instead of mis-pairing with an unrelated loader.
+        for name in candidates:
+            if prefix + name in module_defs:
                 return [(relpath, prefix + name)]
         same_module = [
             qual

@@ -45,9 +45,9 @@ _BUILTIN_EXCEPTIONS = {
 
 def _in_scope(ctx: FileContext) -> bool:
     parts = ctx.posix.split("/")
-    return ("runtime" in parts or "ingest" in parts) and not (
-        ctx.in_tests or ctx.in_benchmarks
-    )
+    return (
+        "runtime" in parts or "ingest" in parts or "fleet" in parts
+    ) and not (ctx.in_tests or ctx.in_benchmarks)
 
 
 class ExceptionTaxonomyRule(ProjectRule):
@@ -55,7 +55,7 @@ class ExceptionTaxonomyRule(ProjectRule):
     title = "raise outside the runtime error taxonomy"
     rationale = (
         "retry/recovery policy dispatches on exception class; a builtin "
-        "raised inside runtime/ingest skips every policy switch and turns "
+        "raised inside runtime/ingest/fleet skips every policy switch and turns "
         "a classifiable fault into an unhandled crash"
     )
 
@@ -107,7 +107,7 @@ class ExceptionTaxonomyRule(ProjectRule):
                         relpath,
                         line,
                         col,
-                        f"raises builtin {dotted} inside runtime/ingest; "
+                        f"raises builtin {dotted} inside runtime/ingest/fleet; "
                         f"raise a typed class from the {label} taxonomy so "
                         "retry/recovery policy can dispatch on it",
                     )
@@ -120,7 +120,7 @@ class ExceptionTaxonomyRule(ProjectRule):
                     line,
                     col,
                     f"raises {dotted} ({origin}), which is outside the "
-                    f"{label} taxonomy; runtime/ingest faults must be "
+                    f"{label} taxonomy; runtime/ingest/fleet faults must be "
                     "classifiable by the supervisor's policy switches",
                 )
 

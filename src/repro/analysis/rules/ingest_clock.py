@@ -1,4 +1,4 @@
-"""R9 — no wall-clock or naive-datetime use in the ingest frontier.
+"""R9 — no wall-clock or naive-datetime use in ingest or fleet code.
 
 The frontier's whole contract is that ordering decisions — reorder,
 dedup, late-drop, watermark advance — are pure functions of *producer*
@@ -10,6 +10,10 @@ Naive datetime construction is the subtler cousin: ``fromtimestamp``
 without ``tz=`` interprets an absolute producer timestamp in the *host's*
 local zone, so two replicas in different zones disagree on the round
 grid.  Producer time is data; it arrives in the envelope or not at all.
+
+The multi-tenant fleet scheduler (:mod:`repro.fleet`) inherits the same
+contract: cycle ordering and shard routing must replay bit-identically
+from ``(seed, cycle)`` alone, so the fleet package is in scope too.
 """
 
 from __future__ import annotations
@@ -56,7 +60,7 @@ class IngestClockRule(Rule):
     )
 
     def applies(self, ctx: FileContext) -> bool:
-        return ctx.in_package("ingest")
+        return ctx.in_package("ingest", "fleet")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):

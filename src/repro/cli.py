@@ -26,6 +26,14 @@ Commands
     ``--late-policy`` and ``--dedup/--no-dedup``) routes the feed through
     the :mod:`repro.ingest` frontier as timestamped envelopes, tolerating
     out-of-order, duplicate and late delivery.
+``fleet run --dataset NAME --tenants N [...]``
+    Stream a dataset through N independent tenant pipelines multiplexed
+    over one shared worker pool (:mod:`repro.fleet`): deterministic shard
+    routing (``--shards``), fair seed-deterministic scheduling
+    (``--seed``, ``--quantum``), optional stage-A offload (``--jobs``)
+    and a crash-safe fleet checkpoint manifest (``--manifest-dir``,
+    ``--checkpoint-every``).  Ends with the cross-tenant anomaly feed and
+    a fleet health rollup (``--health-out`` writes it as JSON).
 """
 
 from __future__ import annotations
@@ -192,6 +200,67 @@ def build_parser() -> argparse.ArgumentParser:
         "(readable dict-based path); outputs are identical",
     )
 
+    fleet = commands.add_parser(
+        "fleet", help="multi-tenant fleet runtime (repro.fleet)"
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_commands.add_parser(
+        "run", help="stream a dataset through N tenant pipelines over one pool"
+    )
+    fleet_run.add_argument("--dataset", required=True, choices=dataset_names())
+    fleet_run.add_argument(
+        "--tenants",
+        type=int,
+        default=2,
+        help="number of tenant pipelines (ids tenant-00, tenant-01, ...)",
+    )
+    fleet_run.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="width of the shard space tenants hash into",
+    )
+    fleet_run.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="directory for the fleet checkpoint manifest and per-tenant "
+        "checkpoints; resumes from it when non-empty",
+    )
+    fleet_run.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="shared-pool workers for stage-A offload; 0 runs every round "
+        "in-process (outputs are identical either way)",
+    )
+    fleet_run.add_argument(
+        "--quantum",
+        type=int,
+        default=256,
+        help="fairness quantum: max pending samples one tenant consumes "
+        "per scheduler cycle",
+    )
+    fleet_run.add_argument(
+        "--seed", type=int, default=0, help="seeds the per-cycle scheduling permutation"
+    )
+    fleet_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        help="rounds between per-tenant checkpoint generations; 0 disables",
+    )
+    fleet_run.add_argument(
+        "--engine",
+        choices=("fast", "delta", "reference"),
+        default="fast",
+        help="per-round pipeline engine shared by all tenants",
+    )
+    fleet_run.add_argument(
+        "--health-out",
+        default=None,
+        help="write the final FleetHealthSnapshot as JSON to this path",
+    )
+
     compare = commands.add_parser("compare", help="compare methods on a dataset")
     compare.add_argument("--dataset", required=True, choices=dataset_names())
     compare.add_argument(
@@ -346,12 +415,22 @@ def cmd_run(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             frontier=frontier,
         )
-        supervisor.warm_up(data.history)
+        # A supervisor recovered from --checkpoint-dir already carries its
+        # warmed statistics; re-warming would advance the round counter
+        # past the recovered state.
+        if supervisor.stream.samples_seen == 0:
+            supervisor.warm_up(data.history)
         if frontier is not None:
+            # Envelopes are re-sent in full: (sensor, seq) dedup and late
+            # accounting absorb the overlap with the recovered state.
             records = supervisor.ingest_many(envelopes)
             records.extend(supervisor.finish())
         else:
-            records = supervisor.process_many(test_values)
+            # Raw rows carry no identity, so resume from the recovered
+            # sample count instead of re-feeding duplicates as new data.
+            records = supervisor.process_many(
+                test_values[:, supervisor.stream.samples_seen :]
+            )
         health = supervisor.health()
     else:
         stream = StreamingCAD(config, data.n_sensors)
@@ -403,6 +482,106 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    from .fleet import FleetConfig, FleetManager, TenantSpec, anomaly_feed
+    from .runtime import SupervisorConfig
+
+    if args.tenants < 1:
+        raise SystemExit(f"--tenants must be >= 1, got {args.tenants}")
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
+    if args.quantum < 1:
+        raise SystemExit(f"--quantum must be >= 1, got {args.quantum}")
+    if args.seed < 0:
+        raise SystemExit(f"--seed must be >= 0, got {args.seed}")
+    if args.checkpoint_every < 0:
+        raise SystemExit(
+            f"--checkpoint-every must be >= 0, got {args.checkpoint_every}"
+        )
+
+    data = load_dataset(args.dataset)
+    config = CADConfig.suggest(
+        data.test.length,
+        data.n_sensors,
+        k=data.recommended_k,
+        allow_missing=True,
+        engine=args.engine,
+    )
+    tenant_ids = [f"tenant-{i:02d}" for i in range(args.tenants)]
+    supervisor_config = SupervisorConfig(checkpoint_every=args.checkpoint_every)
+    manager = FleetManager(
+        [
+            TenantSpec(tenant, config, data.n_sensors, supervisor=supervisor_config)
+            for tenant in tenant_ids
+        ],
+        fleet=FleetConfig(
+            shards=args.shards,
+            seed=args.seed,
+            quantum=args.quantum,
+            offload_jobs=args.jobs,
+        ),
+        manifest_dir=args.manifest_dir,
+    )
+    start = {
+        tenant: manager.supervisor(tenant).stream.samples_seen
+        for tenant in tenant_ids
+    }
+    # Warm up only tenants starting from scratch: a tenant recovered from
+    # its checkpoint lineage already carries its warmed statistics, and
+    # re-warming would advance the round counter past the recovered state.
+    fresh = {tenant: data.history for tenant in tenant_ids if start[tenant] == 0}
+    if fresh:
+        manager.warm_up(fresh)
+
+    test_values = data.test.values
+    records = []
+    for index in range(test_values.shape[1]):
+        for tenant in tenant_ids:
+            if index >= start[tenant]:
+                manager.submit(tenant, test_values[:, index])
+        records.extend(manager.pump())
+    records.extend(manager.finish())
+
+    health = manager.health()
+    feed = anomaly_feed(records)
+    print(
+        f"fleet streamed {args.dataset} x{args.tenants}: "
+        f"{health.rounds_completed} rounds over {args.shards} shards, "
+        f"{len(feed)} abnormal"
+    )
+    for entry in feed:
+        print(
+            f"  {entry.tenant} round {entry.record.index} "
+            f"[{entry.record.start}, {entry.record.stop}) "
+            f"deviation {entry.record.deviation:.2f}"
+        )
+    status = "healthy" if health.healthy else "DEGRADED"
+    print(
+        f"health: {status} | cycles {health.cycles} | "
+        f"offloaded {health.offloaded_rounds} | "
+        f"fallbacks {health.stage_fallbacks} | "
+        f"resyncs {health.cache_resyncs} | "
+        f"retries {health.retries} | shed {health.samples_shed} | "
+        f"checkpoints {health.checkpoints_written}"
+    )
+    if manager.manifest_path is not None:
+        print(f"fleet manifest: {manager.manifest_path}")
+    if args.health_out is not None:
+        with open(args.health_out, "w", encoding="utf-8") as handle:
+            handle.write(health.to_json())
+            handle.write("\n")
+        print(f"wrote fleet health snapshot to {args.health_out}")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "run":
+        return cmd_fleet_run(args)
+    raise AssertionError(f"unhandled fleet command {args.fleet_command!r}")
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     data = load_dataset(args.dataset)
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
@@ -439,6 +618,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_detect(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "fleet":
+        return cmd_fleet(args)
     if args.command == "compare":
         return cmd_compare(args)
     raise AssertionError(f"unhandled command {args.command!r}")

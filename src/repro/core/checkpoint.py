@@ -22,6 +22,7 @@ import json
 import os
 import zipfile
 from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -65,6 +66,15 @@ CHECKPOINT_VERSION = 3
 SUPPORTED_VERSIONS = (1, 2, CHECKPOINT_VERSION)
 
 _FORMAT = "repro-streaming-cad"
+
+#: Checkpoint v4 is the *fleet manifest*: a layer above the per-stream
+#: ``.npz`` archives (which stay at :data:`CHECKPOINT_VERSION`).  One
+#: atomic JSON document records the tenant set, each tenant's shard and
+#: checkpoint-generation directory, and the scheduler cursor, so a fleet
+#: resume restores every tenant from its own rotation to its exact round.
+FLEET_MANIFEST_VERSION = 4
+
+_MANIFEST_FORMAT = "repro-fleet-manifest"
 
 
 def save_checkpoint(stream: StreamingCAD, path: str | Path) -> None:
@@ -327,3 +337,85 @@ def _read_checkpoint(path: str | Path) -> StreamingCAD:
             "buffer": archive["buffer"],
         }
     return StreamingCAD.from_state(state)
+
+
+def save_fleet_manifest(
+    path: str | Path,
+    *,
+    shards: int,
+    seed: int,
+    cycle: int,
+    tenants: Mapping[str, Mapping[str, Any]],
+) -> None:
+    """Atomically write a checkpoint-v4 fleet manifest to ``path``.
+
+    ``tenants`` maps tenant id to a JSON-safe description (at minimum the
+    tenant's ``shard`` and checkpoint ``directory``, relative to the
+    manifest's parent).  Same durability contract as
+    :func:`save_checkpoint`: staged to a ``.tmp`` sibling, fsynced, moved
+    into place with :func:`os.replace`, directory entry flushed — a crash
+    mid-write leaves the previous manifest intact.
+    """
+    payload = {
+        "format": _MANIFEST_FORMAT,
+        "version": FLEET_MANIFEST_VERSION,
+        "shards": int(shards),
+        "seed": int(seed),
+        "cycle": int(cycle),
+        "tenants": {
+            tenant: dict(description) for tenant, description in tenants.items()
+        },
+    }
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
+
+
+def load_fleet_manifest(path: str | Path) -> dict[str, Any]:
+    """Read back a :func:`save_fleet_manifest` document.
+
+    Returns the manifest payload (``shards``, ``seed``, ``cycle``,
+    ``tenants``).  Every failure mode — missing/unreadable file, mangled
+    JSON, a foreign format, an unsupported version, missing keys — raises
+    :class:`CheckpointError` naming the path, mirroring
+    :func:`load_checkpoint` so fleet recovery scans stay single-except.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(path, f"corrupt or unreadable fleet manifest ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(path, "not a fleet manifest (not a JSON object)")
+    if payload.get("format") != _MANIFEST_FORMAT:
+        raise CheckpointError(
+            path, f"not a fleet manifest (format {payload.get('format')!r})"
+        )
+    version = payload.get("version")
+    if version != FLEET_MANIFEST_VERSION:
+        raise CheckpointError(
+            path,
+            f"unsupported fleet manifest version {version!r} "
+            f"(this build reads version {FLEET_MANIFEST_VERSION})",
+        )
+    tenants = payload.get("tenants")
+    if not isinstance(tenants, dict):
+        raise CheckpointError(path, "fleet manifest has no tenants table")
+    for key in ("shards", "seed", "cycle"):
+        if not isinstance(payload.get(key), int):
+            raise CheckpointError(path, f"fleet manifest missing integer {key!r}")
+    return {
+        "shards": payload["shards"],
+        "seed": payload["seed"],
+        "cycle": payload["cycle"],
+        "tenants": tenants,
+    }

@@ -213,6 +213,28 @@ class CAD:
         """
         return self._record_from_stage(self._pipeline.process(window_values))
 
+    def process_staged(self, stage: RoundCommunity) -> RoundRecord:
+        """Score one round from a precomputed stage-A result.
+
+        ``stage`` must be the :class:`RoundCommunity` of exactly the window
+        :meth:`process_window` would have seen next — stage A is a pure
+        function of the window, so computing it elsewhere (a pool worker in
+        the fleet scheduler) and applying it here is bit-identical to the
+        in-process path.  Note the local stage-A pipeline is *not* advanced
+        by this call; the caller owns keeping it in sync (see
+        :attr:`pipeline` and ``CommunityPipeline.restore_state``).
+        """
+        return self._record_from_stage(stage)
+
+    @property
+    def pipeline(self) -> CommunityPipeline:
+        """The stage-A pipeline (window → correlation → TSG → Louvain).
+
+        Exposed so round schedulers can ship its picklable state to pool
+        workers (``to_state``/``restore_state``) around :meth:`process_staged`.
+        """
+        return self._pipeline
+
     def _stage_results(
         self, series: MultivariateTimeSeries, n_jobs: int | None
     ) -> Iterator[RoundCommunity]:

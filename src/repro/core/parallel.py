@@ -41,11 +41,23 @@ one persistent :class:`WorkerPool` per process:
   ``generation`` counter increments) and its outstanding tasks are
   resubmitted; duplicate results are deduplicated by task id, which is
   safe because stage-A tasks are pure functions of their inputs.
+
+Fleet extension (DESIGN.md §12).  The multi-tenant scheduler offloads
+*single rounds* instead of refresh-aligned chunks: a task tagged with a
+``tenant`` key advances a worker-side cached :class:`CommunityPipeline`
+for that tenant (shipped once via ``pipeline_state``, then advanced
+in-place round after round), so steady-state traffic ships one masked
+window per round and no kernel state.  A worker that does not hold the
+named cache entry — fresh spawn after a crash, pool recreation —
+answers with :class:`StaleWorkerCacheError` and the scheduler re-ships
+state; the cached state is a pure function of the window sequence, so
+offloaded rounds stay bit-identical to in-process ones.
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
 import math
 import os
 import queue
@@ -68,6 +80,37 @@ _SLOTS_PER_WORKER = 2
 
 #: How long a result wait blocks before checking workers for liveness.
 _POLL_SECONDS = 0.1
+
+#: Process-wide counters feeding shared-memory slot names.  Two pools (or
+#: one pool recreated across a fleet restart) must never mint the same
+#: segment name: a stale attachment in a long-lived worker would silently
+#: alias a fresh slot's buffer.  ``_POOL_SERIAL`` distinguishes pool
+#: instances, ``_SLOT_NAME_COUNTER`` is monotonic across every pool in the
+#: process, and the pool generation rides in the name for debuggability.
+_POOL_SERIAL = itertools.count()
+_SLOT_NAME_COUNTER = itertools.count()
+
+
+class StaleWorkerCacheError(RuntimeError):
+    """A tenant-tagged task found no cached pipeline in the worker.
+
+    Answered (never raised parent-side unless collected) by a worker that
+    was asked to advance a tenant pipeline it does not hold — a fresh
+    respawn after a crash, a recreated pool, or a brand-new tenant.  The
+    fleet scheduler reacts by re-shipping the tenant's pipeline state with
+    the retried task; correctness is unaffected because the cache is pure
+    derived state.
+    """
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(
+            f"worker holds no cached stage-A pipeline for tenant task "
+            f"{tenant!r}; resubmit with pipeline_state"
+        )
+        self.tenant = tenant
+
+    def __reduce__(self) -> tuple[Any, tuple[str]]:
+        return (StaleWorkerCacheError, (self.tenant,))
 
 
 def resolve_jobs(n_jobs: int | None) -> int:
@@ -142,6 +185,41 @@ def _chunk_bounds(
 # --------------------------------------------------------------------- #
 
 
+def _stage_tenant_rounds(
+    cache: dict[str, CommunityPipeline],
+    tenant: str,
+    config: CADConfig,
+    n_sensors: int,
+    pipeline_state: dict[str, Any] | None,
+    windows: list[np.ndarray],
+    return_state: bool,
+) -> tuple[list[RoundCommunity], dict[str, Any] | None]:
+    """Worker entry point for tenant-tagged round tasks.
+
+    Advances the worker's cached pipeline for ``tenant`` — seeded from
+    ``pipeline_state`` when shipped, answered with
+    :class:`StaleWorkerCacheError` when neither a cache entry nor state
+    exists (stateless reference-engine pipelines are simply rebuilt).
+    Windows are *copied* out of the shared slot: unlike chunk tasks, the
+    cached pipeline outlives this task and the fast/delta kernels keep the
+    previous window by reference, which must not alias a slot the parent
+    will rewrite.
+    """
+    pipeline = cache.get(tenant)
+    if pipeline_state is not None or pipeline is None:
+        pipeline = CommunityPipeline(config, n_sensors)
+        if pipeline.kernel is not None:
+            if pipeline_state is None:
+                raise StaleWorkerCacheError(tenant)
+            pipeline.restore_state(pipeline_state)
+        cache[tenant] = pipeline
+    stages = [pipeline.process(np.array(window)) for window in windows]
+    state_after = None
+    if return_state and pipeline.kernel is not None:
+        state_after = pipeline.to_state()
+    return stages, state_after
+
+
 def _pool_worker(tasks: Any, results: Any) -> None:
     """Long-lived worker loop: attach slots by name, stage chunks, reply.
 
@@ -152,6 +230,7 @@ def _pool_worker(tasks: Any, results: Any) -> None:
     ``BufferError``.
     """
     attachments: dict[str, shared_memory.SharedMemory] = {}
+    tenant_pipelines: dict[str, CommunityPipeline] = {}
     try:
         while True:
             task = tasks.get()
@@ -166,6 +245,7 @@ def _pool_worker(tasks: Any, results: Any) -> None:
                 pipeline_state,
                 start_round,
                 return_state,
+                tenant,
                 retired,
             ) = task
             for name in retired:
@@ -195,14 +275,25 @@ def _pool_worker(tasks: Any, results: Any) -> None:
                         attachments[slot_name] = shm
                     block = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
                     windows = [block[i] for i in range(shape[0])]
-                    out = _stage_chunk(
-                        config,
-                        n_sensors,
-                        pipeline_state,
-                        start_round,
-                        windows,
-                        return_state,
-                    )
+                    if tenant is not None:
+                        out = _stage_tenant_rounds(
+                            tenant_pipelines,
+                            tenant,
+                            config,
+                            n_sensors,
+                            pipeline_state,
+                            windows,
+                            return_state,
+                        )
+                    else:
+                        out = _stage_chunk(
+                            config,
+                            n_sensors,
+                            pipeline_state,
+                            start_round,
+                            windows,
+                            return_state,
+                        )
                     payload = (task_id, out, None)
                 except BaseException as exc:
                     payload = (task_id, None, exc)
@@ -283,7 +374,7 @@ class WorkerPool:
         self._pending: dict[int, _Pending] = {}
         self._completed: dict[int, tuple[Any, BaseException | None]] = {}
         self._task_serial = 0
-        self._slot_serial = 0
+        self._pool_serial = next(_POOL_SERIAL)
         self._closed = False
         for _ in range(self.jobs):
             self._workers.append(self._spawn_worker())
@@ -401,8 +492,15 @@ class WorkerPool:
                     slot.shm.unlink()
                 except Exception:  # pragma: no cover
                     pass
-        name = f"repro-{os.getpid()}-{self._slot_serial}"
-        self._slot_serial += 1
+        # Process-wide unique name: pid + pool serial + pool generation +
+        # a monotonic counter shared by every pool in the process.  A
+        # per-pool counter alone can collide when two pools coexist (or a
+        # fleet restart recreates the pool) and a long-lived worker still
+        # holds an attachment under the stale name.
+        name = (
+            f"repro-{os.getpid()}-p{self._pool_serial}"
+            f"g{self.generation}-{next(_SLOT_NAME_COUNTER)}"
+        )
         shm = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 8))
         fresh = _Slot(shm, name)
         worker.slots[ring] = fresh
@@ -415,17 +513,19 @@ class WorkerPool:
         config: CADConfig,
         n_sensors: int,
         chunk: tuple[dict[str, Any] | None, int, list[np.ndarray], bool],
+        tenant: str | None = None,
     ) -> int:
         pipeline_state, start_round, windows, return_state = chunk
         worker = self._workers[worker_index]
-        window_len = int(windows[0].shape[1])
+        window_len = int(windows[0].shape[1]) if windows else int(config.window)
         shape = (len(windows), n_sensors, window_len)
         nbytes = shape[0] * shape[1] * shape[2] * 8
         slot = self._ensure_slot(worker, ring, nbytes)
-        block = np.ndarray(shape, dtype=np.float64, buffer=slot.shm.buf)
-        for i, window in enumerate(windows):
-            block[i] = window
-        del block  # view must not outlive the slot (close would raise)
+        if windows:
+            block = np.ndarray(shape, dtype=np.float64, buffer=slot.shm.buf)
+            for i, window in enumerate(windows):
+                block[i] = window
+            del block  # view must not outlive the slot (close would raise)
         task_id = self._task_serial
         self._task_serial += 1
         message = (
@@ -437,6 +537,7 @@ class WorkerPool:
             pipeline_state,
             start_round,
             return_state,
+            tenant,
             tuple(worker.retired),
         )
         worker.retired.clear()
@@ -466,6 +567,63 @@ class WorkerPool:
                 slot.busy = None
             self._completed[task_id] = (out, exc)
             return
+
+    def submit_tenant_round(
+        self,
+        worker_index: int,
+        config: CADConfig,
+        n_sensors: int,
+        *,
+        tenant: str,
+        windows: list[np.ndarray],
+        pipeline_state: dict[str, Any] | None = None,
+        return_state: bool = False,
+    ) -> int:
+        """Submit one tenant's stage-A round(s) to a specific worker.
+
+        ``tenant`` keys the worker-side pipeline cache (shard affinity: the
+        fleet always routes a tenant to the same worker, so its cache entry
+        lives exactly where its rounds land).  ``windows`` is usually one
+        masked window; an *empty* list is a state-sync probe — no rounds
+        run, but ``return_state=True`` ships the cached pipeline state back
+        (used before checkpoints while the parent copy is stale).  Blocks
+        until the worker has a free ring slot; returns the task id for
+        :meth:`collect`.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        worker_index = worker_index % self.jobs
+        while True:
+            worker = self._workers[worker_index]
+            for ring in range(_SLOTS_PER_WORKER):
+                slot = worker.slots[ring]
+                if slot is None or slot.busy is None:
+                    return self._submit(
+                        worker_index,
+                        ring,
+                        config,
+                        n_sensors,
+                        (pipeline_state, 0, windows, return_state),
+                        tenant=tenant,
+                    )
+            self._collect_any()  # both rings feeding earlier tasks
+
+    def collect(
+        self, task_id: int
+    ) -> tuple[list[RoundCommunity], dict[str, Any] | None]:
+        """Block until ``task_id`` completes; return (stages, state_after).
+
+        Raises whatever the worker raised — notably
+        :class:`StaleWorkerCacheError`, which the fleet scheduler turns
+        into a state re-ship rather than a failure.
+        """
+        while task_id not in self._completed:
+            self._collect_any()
+        out, exc = self._completed.pop(task_id)
+        if exc is not None:
+            raise exc
+        stages, state_after = out
+        return stages, state_after
 
     def run_chunks(
         self,

@@ -29,6 +29,7 @@ import numpy as np
 from ..timeseries.mts import MultivariateTimeSeries
 from .config import CADConfig
 from .detector import CAD
+from .pipeline import RoundCommunity
 from .result import RoundRecord
 
 
@@ -142,6 +143,82 @@ class StreamingCAD:
             )
         self._validate_sample(sample)
         return self._ingest(sample)
+
+    def peek_window(self, sample: np.ndarray) -> np.ndarray:
+        """The window the *next* push would score, without ingesting.
+
+        Only legal at a round boundary (``sample`` would complete a
+        window); raises :class:`ValueError` otherwise.  Returns a fresh
+        ``(n_sensors, window)`` array — the last ``window - 1`` buffered
+        columns plus ``sample`` — safe to hand to another process.  This
+        is how the fleet scheduler extracts stage-A work (window →
+        correlation → TSG → Louvain) for pool offload while the stream
+        itself stays untouched until the result is applied via
+        :meth:`push_staged`.
+        """
+        sample = np.asarray(sample, dtype=np.float64).reshape(-1)
+        if sample.shape != (self._n_sensors,):
+            raise ValueError(
+                f"expected sample of {self._n_sensors} readings, got {sample.shape}"
+            )
+        self._validate_sample(sample)
+        if self._samples_seen + 1 != self._next_round_end:
+            raise ValueError(
+                f"peek_window is only legal at a round boundary; next sample is "
+                f"{self._samples_seen + 1}, round closes at {self._next_round_end}"
+            )
+        window = self._config.window
+        out = np.empty((self._n_sensors, window), dtype=np.float64)
+        keep = window - 1
+        if keep:
+            out[:, :keep] = self._buffer[:, self._end - keep : self._end]
+        out[:, keep] = sample
+        return out
+
+    def push_staged(
+        self,
+        sample: np.ndarray,
+        stage: RoundCommunity,
+        pipeline_state: dict[str, Any] | None = None,
+    ) -> RoundRecord:
+        """Complete a round from a precomputed stage-A result.
+
+        ``stage`` must be the :class:`~repro.core.pipeline.RoundCommunity`
+        of exactly the window :meth:`peek_window` returned for ``sample``
+        (typically computed in a pool worker).  The sample is ingested into
+        the ring buffer, the detector's sequential stage B runs in-process,
+        and the round's record is returned — bit-identical to
+        :meth:`push`, because stage A is a pure function of the window.
+
+        When ``pipeline_state`` is given it is restored into the local
+        stage-A pipeline first (state returned by the worker alongside the
+        stage); when omitted the local pipeline is left untouched and goes
+        *stale* — the caller owns re-syncing it before any in-process
+        round or checkpoint (see ``StreamSupervisor.pipeline_stale``).
+        """
+        sample = np.asarray(sample, dtype=np.float64).reshape(-1)
+        if sample.shape != (self._n_sensors,):
+            raise ValueError(
+                f"expected sample of {self._n_sensors} readings, got {sample.shape}"
+            )
+        self._validate_sample(sample)
+        if self._samples_seen + 1 != self._next_round_end:
+            raise ValueError(
+                f"push_staged is only legal at a round boundary; next sample is "
+                f"{self._samples_seen + 1}, round closes at {self._next_round_end}"
+            )
+        if self._end == self._capacity:
+            keep = self._config.window - 1
+            self._buffer[:, :keep] = self._buffer[:, self._end - keep : self._end]
+            self._end = keep
+        self._buffer[:, self._end] = sample
+        self._end += 1
+        self._samples_seen += 1
+        if pipeline_state is not None:
+            self._detector.pipeline.restore_state(pipeline_state)
+        record = self._detector.process_staged(stage)
+        self._next_round_end += self._config.step
+        return record
 
     def _validate_sample(self, sample: np.ndarray) -> None:
         infinite = np.isinf(sample)

@@ -1,0 +1,37 @@
+"""Multi-tenant fleet runtime for the CAD detector.
+
+Runs N independent tenant pipelines — each a supervised
+:class:`~repro.core.streaming.StreamingCAD` with its own config, breaker
+state and checkpoint lineage — over one shared worker pool:
+
+* :class:`ShardRouter` / :func:`stable_shard` — deterministic
+  tenant→shard→worker routing (stable across restarts);
+* :func:`cycle_order` — fair, seed-deterministic scheduling permutation;
+* :class:`FleetManager` — ownership, scheduling, stage-A offload with
+  worker-side pipeline caches, fleet checkpoint manifest (v4) and
+  kill-anywhere resume;
+* :class:`FleetRecord` / :func:`anomaly_feed` /
+  :class:`FleetHealthSnapshot` — cross-tenant anomaly and health rollups.
+
+Per-tenant outputs are bit-identical to solo runs; see DESIGN.md §12.
+"""
+
+from .health import FleetHealthSnapshot, FleetRecord, anomaly_feed
+from .manager import MANIFEST_NAME, FleetConfig, FleetManager, TenantSpec
+from .router import TENANT_ID_RE, ShardRouter, stable_shard, validate_tenant_id
+from .scheduler import cycle_order
+
+__all__ = [
+    "FleetHealthSnapshot",
+    "FleetRecord",
+    "anomaly_feed",
+    "MANIFEST_NAME",
+    "FleetConfig",
+    "FleetManager",
+    "TenantSpec",
+    "TENANT_ID_RE",
+    "ShardRouter",
+    "stable_shard",
+    "validate_tenant_id",
+    "cycle_order",
+]

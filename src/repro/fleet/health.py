@@ -1,0 +1,188 @@
+"""Cross-tenant rollups: fleet anomaly feed and fleet health snapshot.
+
+Per-tenant outputs stay bit-identical to solo runs (that is the fleet's
+core guarantee), so the rollup layer never *transforms* records — it only
+*attributes* them.  :class:`FleetRecord` wraps one tenant's
+:class:`~repro.core.result.RoundRecord` with its tenant id and shard;
+:func:`anomaly_feed` merges the abnormal ones into a single
+deterministic feed; :class:`FleetHealthSnapshot` aggregates every
+tenant's :class:`~repro.runtime.health.HealthSnapshot` next to the
+fleet-level scheduler counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.result import RoundRecord
+from ..runtime.errors import UnknownTenantError
+from ..runtime.health import HealthSnapshot
+
+__all__ = ["FleetRecord", "anomaly_feed", "FleetHealthSnapshot"]
+
+
+@dataclass(frozen=True)
+class FleetRecord:
+    """One tenant's round record with fleet attribution."""
+
+    tenant: str
+    shard: int
+    record: RoundRecord
+
+    @property
+    def index(self) -> int:
+        """Round index within the tenant's own stream."""
+        return self.record.index
+
+    @property
+    def abnormal(self) -> bool:
+        """Whether the tenant's round tripped the paper's deviation rule."""
+        return self.record.abnormal
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready attribution row for the fleet anomaly feed."""
+        return {
+            "tenant": self.tenant,
+            "shard": self.shard,
+            "round": self.record.index,
+            "start": self.record.start,
+            "stop": self.record.stop,
+            "n_variations": self.record.n_variations,
+            "deviation": self.record.deviation,
+            "abnormal": self.record.abnormal,
+            "variations": sorted(self.record.variations),
+            "outliers": sorted(self.record.outliers),
+        }
+
+
+def anomaly_feed(records: Iterable[FleetRecord]) -> list[FleetRecord]:
+    """Merge per-tenant outputs into one deterministic anomaly feed.
+
+    Keeps only abnormal rounds, ordered by ``(round index, tenant id)``
+    — a stable interleaving that does not depend on scheduler visiting
+    order, so the feed of a fleet run equals the merge of the solo runs.
+    """
+    abnormal = [fr for fr in records if fr.record.abnormal]
+    abnormal.sort(key=lambda fr: (fr.record.index, fr.tenant))
+    return abnormal
+
+
+@dataclass(frozen=True)
+class FleetHealthSnapshot:
+    """Aggregated health of every tenant plus fleet scheduler counters.
+
+    ``tenants`` holds the per-tenant snapshots (sorted by tenant id) with
+    their shard assignment; the scalar fields are either fleet-level
+    counters (cycles, offload bookkeeping) or sums over the tenants.
+    """
+
+    shards: int = 1
+    cycles: int = 0
+    offloaded_rounds: int = 0
+    stage_fallbacks: int = 0
+    cache_resyncs: int = 0
+    pool_jobs: int = 0
+    rounds_completed: int = 0
+    samples_ingested: int = 0
+    samples_shed: int = 0
+    retries: int = 0
+    slow_rounds: int = 0
+    crashes_recovered: int = 0
+    checkpoints_written: int = 0
+    breaker_trips: int = 0
+    degraded_rounds: int = 0
+    samples_reordered: int = 0
+    samples_deduped: int = 0
+    samples_late_dropped: int = 0
+    rows_dropped: int = 0
+    tenants: tuple[tuple[str, int, HealthSnapshot], ...] = field(default=())
+
+    @classmethod
+    def aggregate(
+        cls,
+        per_tenant: "dict[str, tuple[int, HealthSnapshot]]",
+        *,
+        shards: int,
+        cycles: int,
+        offloaded_rounds: int,
+        stage_fallbacks: int,
+        cache_resyncs: int,
+        pool_jobs: int,
+    ) -> "FleetHealthSnapshot":
+        """Roll ``{tenant: (shard, snapshot)}`` up into one fleet snapshot."""
+        rows = tuple(
+            (tenant, per_tenant[tenant][0], per_tenant[tenant][1])
+            for tenant in sorted(per_tenant)
+        )
+        snaps = [snap for _, _, snap in rows]
+        return cls(
+            shards=shards,
+            cycles=cycles,
+            offloaded_rounds=offloaded_rounds,
+            stage_fallbacks=stage_fallbacks,
+            cache_resyncs=cache_resyncs,
+            pool_jobs=pool_jobs,
+            rounds_completed=sum(s.rounds_completed for s in snaps),
+            samples_ingested=sum(s.samples_ingested for s in snaps),
+            samples_shed=sum(s.samples_shed for s in snaps),
+            retries=sum(s.retries for s in snaps),
+            slow_rounds=sum(s.slow_rounds for s in snaps),
+            crashes_recovered=sum(s.crashes_recovered for s in snaps),
+            checkpoints_written=sum(s.checkpoints_written for s in snaps),
+            breaker_trips=sum(s.breaker_trips for s in snaps),
+            degraded_rounds=sum(s.degraded_rounds for s in snaps),
+            samples_reordered=sum(s.samples_reordered for s in snaps),
+            samples_deduped=sum(s.samples_deduped for s in snaps),
+            samples_late_dropped=sum(s.samples_late_dropped for s in snaps),
+            rows_dropped=sum(s.rows_dropped for s in snaps),
+            tenants=rows,
+        )
+
+    @property
+    def healthy(self) -> bool:
+        """True when every tenant's snapshot reports healthy."""
+        return all(snap.healthy for _, _, snap in self.tenants)
+
+    def tenant_snapshot(self, tenant: str) -> HealthSnapshot:
+        """The per-tenant snapshot (:class:`UnknownTenantError`, a
+        ``KeyError``, for unknown tenants)."""
+        for tid, _, snap in self.tenants:
+            if tid == tenant:
+                return snap
+        raise UnknownTenantError(tenant)
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-ready, nested per-tenant dicts)."""
+        out: dict[str, object] = {
+            "healthy": self.healthy,
+            "shards": self.shards,
+            "cycles": self.cycles,
+            "offloaded_rounds": self.offloaded_rounds,
+            "stage_fallbacks": self.stage_fallbacks,
+            "cache_resyncs": self.cache_resyncs,
+            "pool_jobs": self.pool_jobs,
+            "rounds_completed": self.rounds_completed,
+            "samples_ingested": self.samples_ingested,
+            "samples_shed": self.samples_shed,
+            "retries": self.retries,
+            "slow_rounds": self.slow_rounds,
+            "crashes_recovered": self.crashes_recovered,
+            "checkpoints_written": self.checkpoints_written,
+            "breaker_trips": self.breaker_trips,
+            "degraded_rounds": self.degraded_rounds,
+            "samples_reordered": self.samples_reordered,
+            "samples_deduped": self.samples_deduped,
+            "samples_late_dropped": self.samples_late_dropped,
+            "rows_dropped": self.rows_dropped,
+            "tenants": {
+                tenant: {"shard": shard, **snap.to_dict()}
+                for tenant, shard, snap in self.tenants
+            },
+        }
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict` (sorted keys)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,106 @@
+"""Deterministic shard router for the multi-tenant fleet.
+
+Tenants are mapped to shards by a *stable* hash of the tenant id —
+``sha256``, not Python's ``hash()``, which is salted per process
+(PYTHONHASHSEED) and would re-shuffle the fleet on every restart.  The
+mapping is therefore a pure function of ``(tenant, shards)``: the same
+tenant lands on the same shard across processes, restarts and hosts,
+which is what lets the fleet manifest record shard assignments and
+verify them on resume, and what gives each tenant a stable worker
+affinity in the shared pool (the worker-side pipeline cache keys off
+it — see :mod:`repro.core.parallel`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+from ..runtime.errors import ConfigurationError, UnknownTenantError
+
+__all__ = ["TENANT_ID_RE", "stable_shard", "validate_tenant_id", "ShardRouter"]
+
+#: Tenant ids double as checkpoint directory names and manifest keys, so
+#: they are restricted to a filesystem- and JSON-safe alphabet.
+TENANT_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_tenant_id(tenant: str) -> str:
+    """Return ``tenant`` if it is a legal tenant id, else raise.
+
+    Raises :class:`~repro.runtime.errors.ConfigurationError` — tenant ids
+    become directory names under the fleet manifest, so the alphabet is
+    restricted up front instead of failing deep inside checkpoint IO.
+    """
+    if not isinstance(tenant, str) or TENANT_ID_RE.match(tenant) is None:
+        raise ConfigurationError(
+            f"illegal tenant id {tenant!r}: need 1-64 chars of "
+            "[A-Za-z0-9._-] starting with an alphanumeric (ids become "
+            "manifest keys and checkpoint directory names)"
+        )
+    return tenant
+
+
+def stable_shard(tenant: str, shards: int) -> int:
+    """Shard index of ``tenant`` in a ``shards``-wide fleet.
+
+    Stable across processes and hosts: the first 8 bytes of
+    ``sha256(tenant)`` taken as a big-endian integer, mod ``shards``.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    digest = hashlib.sha256(tenant.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+class ShardRouter:
+    """Routes tenant ids of a fixed fleet onto shards.
+
+    The router is the fleet's membership authority: looking up a tenant
+    that was never registered raises
+    :class:`~repro.runtime.errors.UnknownTenantError` instead of silently
+    hashing an arbitrary string onto a shard.
+    """
+
+    def __init__(self, tenants: "list[str] | tuple[str, ...]", shards: int) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self._shards = shards
+        self._assignment: dict[str, int] = {}
+        for tenant in tenants:
+            validate_tenant_id(tenant)
+            if tenant in self._assignment:
+                raise ConfigurationError(f"duplicate tenant id {tenant!r}")
+            self._assignment[tenant] = stable_shard(tenant, shards)
+
+    @property
+    def shards(self) -> int:
+        """Width of the shard space."""
+        return self._shards
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Registered tenant ids, sorted."""
+        return tuple(sorted(self._assignment))
+
+    def shard_of(self, tenant: str) -> int:
+        """Shard index of a registered tenant."""
+        try:
+            return self._assignment[tenant]
+        except KeyError:
+            raise UnknownTenantError(tenant) from None
+
+    def worker_of(self, tenant: str, jobs: int) -> int:
+        """Worker index of a registered tenant in a ``jobs``-worker pool.
+
+        Shards fold onto workers round-robin, so a tenant keeps the same
+        worker for the life of a pool — the affinity the worker-side
+        pipeline cache relies on.
+        """
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        return self.shard_of(tenant) % jobs
+
+    def assignment(self) -> dict[str, int]:
+        """``{tenant: shard}`` snapshot (sorted keys, detached copy)."""
+        return {tenant: self._assignment[tenant] for tenant in sorted(self._assignment)}

@@ -62,14 +62,25 @@ class SampleEnvelope:
     value:
         The reading; NaN marks an explicitly-missing reading, inf is
         rejected.
+    tenant:
+        Owning tenant of the reading in a multi-tenant fleet.  The empty
+        string is the single implicit tenant, so every pre-fleet producer
+        and frontier path is untouched; the fleet's shard router requires
+        an explicit, declared tenant id.
     """
 
     sensor: int
     seq: int
     timestamp: float
     value: float
+    tenant: str = ""
 
     def __post_init__(self) -> None:
+        if not isinstance(self.tenant, str):
+            raise EnvelopeValidationError(
+                "tenant",
+                f"expected a str, got {type(self.tenant).__name__}",
+            )
         for field in ("sensor", "seq"):
             raw = getattr(self, field)
             if isinstance(raw, bool) or not isinstance(raw, (int, np.integer)):
@@ -102,6 +113,7 @@ def envelopes_from_matrix(
     period: float = 1.0,
     skew: Sequence[float] | None = None,
     start_seq: int = 0,
+    tenant: str = "",
 ) -> Iterator[SampleEnvelope]:
     """Yield the clean, in-order envelope stream of an ``(n, T)`` matrix.
 
@@ -109,6 +121,8 @@ def envelopes_from_matrix(
     ``timestamp = epoch + seq * period`` (plus the sensor's ``skew`` offset
     when given, modelling a drifted producer clock).  This is the reference
     delivery the chaos model perturbs and the frontier must reconstruct.
+    ``tenant`` stamps every envelope with an owning tenant for fleet runs;
+    the default keeps the single implicit tenant.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 2:
@@ -130,4 +144,5 @@ def envelopes_from_matrix(
                 seq=seq,
                 timestamp=tick + offset,
                 value=float(values[sensor, t]),
+                tenant=tenant,
             )

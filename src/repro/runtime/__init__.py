@@ -15,7 +15,10 @@ from .chaos import ChaosModel
 from .clock import Clock, MonotonicClock, VirtualClock
 from .errors import (
     CheckpointError,
+    ConfigurationError,
     EnvelopeValidationError,
+    FleetError,
+    FleetManifestError,
     FrontierStateError,
     IngestError,
     InvalidSampleError,
@@ -28,6 +31,7 @@ from .errors import (
     SequenceConflictError,
     SupervisorError,
     TransientRoundError,
+    UnknownTenantError,
 )
 from .health import HealthSnapshot
 from .queue import SHED_POLICIES, IngestQueue
@@ -45,7 +49,11 @@ __all__ = [
     "MonotonicClock",
     "VirtualClock",
     "CheckpointError",
+    "ConfigurationError",
     "EnvelopeValidationError",
+    "FleetError",
+    "FleetManifestError",
+    "UnknownTenantError",
     "FrontierStateError",
     "IngestError",
     "InvalidSampleError",

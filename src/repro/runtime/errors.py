@@ -37,6 +37,14 @@ code switches on exception class instead of string-matching messages:
     sequence numbers claimed the same grid cell — producer-side numbering
     is broken, which dedup must not paper over), and ``FrontierStateError``
     (a checkpointed frontier state could not be restored consistently).
+``FleetError``
+    Base of the multi-tenant fleet runtime taxonomy (:mod:`repro.fleet`).
+    Subtypes: ``UnknownTenantError`` (a sample/envelope named a tenant the
+    shard router does not know — fleet membership is declared up front,
+    never inferred from traffic) and ``FleetManifestError`` (the fleet
+    checkpoint manifest disagrees with the configured tenant set, shard
+    count, or per-tenant lineage, so a blind resume would silently mix
+    checkpoint lineages across fleets).
 
 :class:`~repro.core.checkpoint.CheckpointError` (corrupt/unreadable
 checkpoint file), :class:`~repro.core.streaming.PushError` (mid-batch
@@ -65,6 +73,9 @@ __all__ = [
     "EnvelopeValidationError",
     "SequenceConflictError",
     "FrontierStateError",
+    "FleetError",
+    "UnknownTenantError",
+    "FleetManifestError",
     "CheckpointError",
     "PushError",
     "InvalidSampleError",
@@ -203,3 +214,34 @@ class SequenceConflictError(IngestError):
 
 class FrontierStateError(IngestError):
     """A checkpointed frontier state payload is inconsistent or foreign."""
+
+
+class FleetError(SupervisorError):
+    """Base class of the multi-tenant fleet runtime taxonomy."""
+
+
+class UnknownTenantError(FleetError, KeyError):
+    """A sample or envelope named a tenant the fleet does not own.
+
+    Fleet membership is declared at construction (the shard router hashes
+    a fixed tenant set); traffic for an undeclared tenant is a routing
+    bug upstream, not a reason to silently create a pipeline.  Also an
+    :class:`KeyError`, matching the mapping-lookup idiom it replaces.
+    """
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(f"unknown tenant {tenant!r}; not in the fleet's tenant set")
+        self.tenant = tenant
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class FleetManifestError(FleetError):
+    """The fleet checkpoint manifest cannot be reconciled with the fleet.
+
+    Raised when a resume finds a manifest whose tenant set, shard count,
+    or per-tenant checkpoint lineage disagrees with the configured fleet:
+    adopting it blindly would mix checkpoint lineages across fleets and
+    break the per-tenant bit-identity contract.
+    """

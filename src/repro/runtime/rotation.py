@@ -133,9 +133,15 @@ class CheckpointRotation:
     # ----------------------------------------------------------------- #
 
     def generations(self) -> list[Generation]:
-        """On-disk generations, newest first.  Foreign files are ignored."""
+        """On-disk generations, newest first.  Foreign files are ignored.
+
+        The directory scan is explicitly sorted by name before the
+        round-index sort: ``iterdir``/``os.listdir`` order is a filesystem
+        artifact (hash order on some, insertion order on others), and
+        recovery decisions must never depend on it.
+        """
         found = []
-        for entry in self.directory.iterdir():
+        for entry in sorted(self.directory.iterdir()):
             match = _NAME_RE.match(entry.name)
             if match is None:
                 continue

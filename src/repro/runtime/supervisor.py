@@ -61,6 +61,7 @@ if TYPE_CHECKING:  # imported lazily to keep repro.ingest <-> runtime acyclic
 
 from ..core.config import CADConfig
 from ..core.parallel import pool_generation, restore_pool_generation
+from ..core.pipeline import RoundCommunity
 from ..core.result import RoundRecord
 from ..core.streaming import PushError, StreamingCAD
 from ..timeseries.mts import MultivariateTimeSeries
@@ -250,6 +251,13 @@ class StreamSupervisor:
         self._rounds_since_checkpoint = 0
         self._attempts: dict[int, int] = {}
 
+        # True while the local stage-A pipeline lags the stream: staged
+        # rounds (fleet offload) advance stage B without touching the
+        # local window→communities pipeline unless worker state rides
+        # along.  While stale, in-process round pushes and checkpoints
+        # are refused — see process_staged / resync_pipeline.
+        self._pipeline_stale = False
+
         if resume and self._rotation is not None:
             restored = self._rotation.recover()
             if restored is not None:
@@ -284,12 +292,35 @@ class StreamSupervisor:
         sample = self._validate(sample)
         return self._queue.offer(sample)
 
-    def pump(self) -> list[RoundRecord]:
-        """Drain the ingest queue through the supervised pipeline."""
+    def pump(self, max_samples: int | None = None) -> list[RoundRecord]:
+        """Drain the ingest queue through the supervised pipeline.
+
+        ``max_samples`` caps how many queued samples are consumed (the
+        fleet scheduler's fairness quantum); None drains fully.
+        """
         records: list[RoundRecord] = []
+        taken = 0
         while len(self._queue):
+            if max_samples is not None and taken >= max_samples:
+                break
+            taken += 1
             records.extend(self._process_raw(self._queue.pop()))
         return records
+
+    @property
+    def pending_samples(self) -> int:
+        """Validated samples waiting in the bounded ingest queue."""
+        return len(self._queue)
+
+    def pop_pending(self) -> np.ndarray:
+        """Pop one queued sample without processing it.
+
+        The fleet scheduler uses this to look at the next sample, decide
+        whether it completes a round (offload candidate), and route it
+        through :meth:`process` or :meth:`process_staged` itself.  Raises
+        :class:`~repro.runtime.errors.QueueEmptyError` when empty.
+        """
+        return self._queue.pop()
 
     def process(self, sample: np.ndarray) -> list[RoundRecord]:
         """Feed one sample synchronously; return the *new* records.
@@ -299,6 +330,118 @@ class StreamSupervisor:
         producers that need the bounded queue.
         """
         return self._process_raw(self._validate(sample))
+
+    # ----------------------------------------------------------------- #
+    # Staged rounds (fleet stage-A offload)
+    # ----------------------------------------------------------------- #
+
+    def stage_window(self, sample: np.ndarray) -> np.ndarray:
+        """The masked window the round completed by ``sample`` would score.
+
+        Only legal when ``sample`` is round-completing.  Quarantine masking
+        happens *here*, parent-side — the shipped window already carries
+        the breaker state, so offloaded stage A needs no knowledge of it.
+        Nothing is ingested; feed the same sample to :meth:`process_staged`
+        with the computed stage to complete the round.
+        """
+        return self._stream.peek_window(self._masked(self._validate(sample)))
+
+    def process_staged(
+        self,
+        sample: np.ndarray,
+        stage: "RoundCommunity",
+        pipeline_state: dict[str, Any] | None = None,
+    ) -> list[RoundRecord]:
+        """Complete a round from an offloaded stage-A result.
+
+        ``stage`` must be the result of stage A over exactly
+        ``stage_window(sample)`` (usually computed in a pool worker); the
+        full supervised envelope — chaos fates, watchdog, retries, breaker
+        updates, emission dedup, auto-checkpointing — runs as if the round
+        had been computed in-process, and the emitted records are
+        bit-identical.  Any recovery mid-round falls back to an in-process
+        recompute (replay rebuilds the live pipeline anyway).
+
+        Without ``pipeline_state`` the local stage-A pipeline goes *stale*
+        (:attr:`pipeline_stale`); the caller must sync worker state back —
+        or call :meth:`resync_pipeline` — before any in-process round or
+        checkpoint.
+        """
+        raw = self._validate(sample)
+        if self._stream.samples_seen + 1 != self._stream.next_round_end:
+            raise ConfigurationError(
+                "process_staged requires a round-completing sample; next "
+                f"sample is {self._stream.samples_seen + 1}, round closes at "
+                f"{self._stream.next_round_end}"
+            )
+        masked = self._masked(raw)
+        self._replay_raw.append(raw)
+        self._replay_masked.append(masked)
+        self._samples_ingested += 1
+        return self._guarded_round(masked, stage=stage, pipeline_state=pipeline_state)
+
+    @property
+    def pipeline_stale(self) -> bool:
+        """True while the local stage-A pipeline lags offloaded rounds."""
+        return self._pipeline_stale
+
+    @property
+    def checkpoint_due_next_round(self) -> bool:
+        """Would completing one more round trigger an auto-checkpoint?
+
+        The fleet scheduler asks before dispatching an offloaded round so
+        it can request the worker's pipeline state exactly when the
+        checkpoint will need it.
+        """
+        return (
+            self._rotation is not None
+            and self._sup.checkpoint_every > 0
+            and self._rounds_since_checkpoint + 1 >= self._sup.checkpoint_every
+        )
+
+    @property
+    def retries_performed(self) -> int:
+        """Total retries so far (scheduler probe for mid-call recoveries)."""
+        return self._retries
+
+    def pipeline_state(self) -> dict[str, Any] | None:
+        """Picklable stage-A pipeline state to seed a worker cache.
+
+        None for the stateless reference engine.  Refused while the local
+        pipeline is stale — shipping a lagging state would corrupt the
+        worker's cache.
+        """
+        if self._pipeline_stale:
+            raise RecoveryError(
+                "stage-A pipeline is stale (offloaded rounds not yet "
+                "synced); resync before exporting its state"
+            )
+        pipeline = self._stream.detector.pipeline
+        if pipeline.kernel is None:
+            return None
+        return pipeline.to_state()
+
+    def adopt_pipeline_state(self, state: dict[str, Any] | None) -> None:
+        """Adopt worker-returned stage-A state; clears :attr:`pipeline_stale`.
+
+        ``None`` is accepted for the stateless reference engine (nothing
+        to restore, the pipeline is never meaningfully stale).
+        """
+        if state is not None:
+            self._stream.detector.pipeline.restore_state(state)
+        self._pipeline_stale = False
+
+    def resync_pipeline(self) -> None:
+        """Rebuild the live stage-A pipeline after offload went stale.
+
+        Restores the newest valid checkpoint and replays the gap in
+        process — the same machinery crash recovery uses, minus the
+        backoff.  Used when the worker holding the cached pipeline died
+        and its state cannot be fetched back.  No-op when already live.
+        """
+        if not self._pipeline_stale:
+            return
+        self._restore_and_replay(exclude_last=False)
 
     def process_many(self, samples: np.ndarray) -> list[RoundRecord]:
         """Feed an ``(n_sensors, t)`` block sample by sample.
@@ -450,10 +593,22 @@ class StreamSupervisor:
             return []
         return self._guarded_round(masked)
 
-    def _guarded_round(self, masked: np.ndarray) -> list[RoundRecord]:
-        """Watchdog/chaos/retry envelope around a round-completing push."""
+    def _guarded_round(
+        self,
+        masked: np.ndarray,
+        stage: RoundCommunity | None = None,
+        pipeline_state: dict[str, Any] | None = None,
+    ) -> list[RoundRecord]:
+        """Watchdog/chaos/retry envelope around a round-completing push.
+
+        With ``stage`` the first attempt applies the offloaded stage-A
+        result (:meth:`StreamingCAD.push_staged`); any recovery drops to
+        the in-process recompute — replay rebuilt the live pipeline, and
+        stage A is pure, so both paths emit the same record.
+        """
         round_index = self._stream.detector.rounds_processed
         retry = self._sup.retry
+        staged = stage is not None
         while True:
             attempt = self._attempts.get(round_index, 0)
             fate = (
@@ -469,12 +624,26 @@ class StreamSupervisor:
                 self._retries += 1
                 self._crashes_recovered += 1
                 self._recover_and_replay(round_index, attempt)
+                staged = False
                 continue
 
             start = self._clock.monotonic()
             if fate == "slow" and self._chaos is not None:
                 self._clock.sleep(self._chaos.slow_seconds)
-            record = self._stream.push(masked)
+            if staged and stage is not None:
+                record = self._stream.push_staged(masked, stage, pipeline_state)
+                self._pipeline_stale = (
+                    pipeline_state is None
+                    and self._stream.detector.pipeline.kernel is not None
+                )
+            else:
+                if self._pipeline_stale:
+                    raise RecoveryError(
+                        f"round {round_index}: in-process push with a stale "
+                        "stage-A pipeline; sync worker state or call "
+                        "resync_pipeline() first"
+                    )
+                record = self._stream.push(masked)
             elapsed = self._clock.monotonic() - start
             if record is None:  # pragma: no cover - push/boundary invariant
                 raise RecoveryError(
@@ -490,6 +659,7 @@ class StreamSupervisor:
                     self._attempts[round_index] = attempt + 1
                     self._retries += 1
                     self._recover_and_replay(round_index, attempt)
+                    staged = False
                     continue
                 # Budget exhausted: accept the late round (liveness first).
             self._attempts.pop(round_index, None)
@@ -572,6 +742,13 @@ class StreamSupervisor:
 
     def _write_checkpoint(self) -> Path:
         assert self._rotation is not None
+        if self._pipeline_stale:
+            raise RecoveryError(
+                "checkpoint requested while the stage-A pipeline is stale "
+                "(offloaded rounds not yet synced); a checkpoint written now "
+                "would resume with a lagging kernel — sync worker state or "
+                "call resync_pipeline() first"
+            )
         round_index = self._stream.detector.rounds_processed
         generation = self._rotation.write(
             self._stream, round_index, self._runtime_state()
@@ -616,6 +793,7 @@ class StreamSupervisor:
                 f"expects {self._n_sensors}"
             )
         self._stream = restored.stream
+        self._pipeline_stale = False
         self._replay_base = restored.stream.samples_seen
         self._replay_raw.clear()
         self._replay_masked.clear()
@@ -664,6 +842,18 @@ class StreamSupervisor:
         """Back off, restore the newest valid state, replay up to the
         failing sample (exclusive), leaving it ready for re-attempt."""
         self._clock.sleep(self._sup.retry.delay(round_index, attempt))
+        self._restore_and_replay(exclude_last=True)
+
+    def _restore_and_replay(self, *, exclude_last: bool) -> None:
+        """Restore the newest valid state and replay the buffered gap.
+
+        ``exclude_last=True`` leaves the final replay entry (the failing
+        sample of a retried round) for the caller to re-attempt;
+        ``exclude_last=False`` replays everything (pipeline resync after
+        offload — every buffered sample was already stage-B-processed).
+        Either way the stream object is rebuilt in-process, so the local
+        stage-A pipeline comes out live.
+        """
         restored = self._rotation.recover() if self._rotation is not None else None
         if restored is not None:
             self._stream = restored.stream
@@ -692,8 +882,11 @@ class StreamSupervisor:
                 "cannot reconstruct the stream"
             )
         # Replay everything between the restored state and the failing
-        # sample; the failing sample itself is re-attempted by the caller.
-        self._replay_range(skip, len(self._replay_raw) - 1)
+        # sample; the failing sample itself is re-attempted by the caller
+        # (with exclude_last=False there is no failing sample to hold back).
+        self._pipeline_stale = False
+        stop = len(self._replay_raw) - (1 if exclude_last else 0)
+        self._replay_range(skip, stop)
 
     def _replay_range(self, start: int, stop: int) -> None:
         """Re-feed replay entries ``[start, stop)`` through the detector.

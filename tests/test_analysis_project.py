@@ -260,6 +260,31 @@ class TestR11CheckpointContract:
         })
         assert findings(tmp_path, "R11") == []
 
+    def test_thin_wrapper_loader_pairs_by_name_not_by_fallback(self, tmp_path):
+        """An exact-name loader that only delegates (no key facts of its
+        own) still claims its writer; an unrelated loader in the same
+        module must not be mis-paired with it."""
+        write_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/state.py": """\
+                def save_snapshot(engine):
+                    return {"kept": engine.kept}
+
+                def load_snapshot(state):
+                    return _apply(state)
+
+                def _apply(state):
+                    return state["kept"]
+
+                def save_manifest(path):
+                    return {"format": "m", "shards": 4}
+
+                def load_manifest(state):
+                    return (state["format"], state["shards"])
+                """,
+        })
+        assert findings(tmp_path, "R11") == []
+
     def test_const_loop_keys_are_enumerated(self, tmp_path):
         write_tree(tmp_path, {
             "pkg/__init__.py": "",
@@ -669,6 +694,22 @@ class TestR14ExceptionTaxonomy:
                 """,
         }))
         assert findings(tmp_path, "R14") == []
+
+    def test_fleet_package_in_scope(self, tmp_path):
+        # The fleet runtime joined the taxonomy contract alongside
+        # runtime/ and ingest/.
+        write_tree(tmp_path, dict(_TAXONOMY, **{
+            "pkg/fleet/__init__.py": "",
+            "pkg/fleet/manager.py": """\
+                def route(tenant):
+                    if not tenant:
+                        raise KeyError(tenant)
+                    return tenant
+                """,
+        }))
+        hits = findings(tmp_path, "R14")
+        assert len(hits) == 1
+        assert "KeyError" in hits[0].message
 
     def test_outside_runtime_is_out_of_scope(self, tmp_path):
         write_tree(tmp_path, dict(_TAXONOMY, **{

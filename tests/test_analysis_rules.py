@@ -460,6 +460,18 @@ class TestR9IngestClock:
             "src/repro/bench/timing.py",
         )
 
+    def test_fleet_scheduler_in_scope(self):
+        # The fleet scheduler inherits the ingest clock contract: cycle
+        # ordering and fairness must be replayable, never wall-clock-driven.
+        assert "R9" in rules_fired(
+            "import time\nnow = time.time()\n",
+            "src/repro/fleet/scheduler.py",
+        )
+        assert "R9" in rules_fired(
+            "import time\nmark = time.monotonic()\n",
+            "src/repro/fleet/manager.py",
+        )
+
     def test_noqa_with_reason_suppresses(self):
         assert "R9" not in rules_fired(
             "import time\n"

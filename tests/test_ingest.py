@@ -615,3 +615,34 @@ def test_any_delivery_within_horizon_is_bit_identical(delay_seed, duplicate_ever
             records.append(record)
     assert records == expected
     assert frontier.stats().deduped + frontier.stats().late_dropped > 0
+
+
+class TestEnvelopeTenancy:
+    """The fleet's ``tenant`` field: implicit default, validation, stamping."""
+
+    def test_default_is_the_implicit_single_tenant(self):
+        envelope = SampleEnvelope(sensor=0, seq=0, timestamp=0.0, value=1.0)
+        assert envelope.tenant == ""
+
+    def test_explicit_tenant_is_preserved(self):
+        envelope = SampleEnvelope(
+            sensor=0, seq=0, timestamp=0.0, value=1.0, tenant="acme-07"
+        )
+        assert envelope.tenant == "acme-07"
+
+    @pytest.mark.parametrize("bad", [0, None, b"t", 1.5])
+    def test_non_string_tenant_raises(self, bad):
+        with pytest.raises(EnvelopeValidationError) as excinfo:
+            SampleEnvelope(sensor=0, seq=0, timestamp=0.0, value=1.0, tenant=bad)
+        assert excinfo.value.field == "tenant"
+
+    def test_envelopes_from_matrix_stamps_every_envelope(self):
+        values = correlated_values(n_sensors=3, length=4, seed=9)
+        stamped = list(envelopes_from_matrix(values, tenant="t-1"))
+        assert stamped and all(e.tenant == "t-1" for e in stamped)
+        implicit = list(envelopes_from_matrix(values))
+        assert all(e.tenant == "" for e in implicit)
+        # tenancy is metadata: the payload stream is otherwise unchanged
+        assert [(e.sensor, e.seq, e.value) for e in stamped] == [
+            (e.sensor, e.seq, e.value) for e in implicit
+        ]

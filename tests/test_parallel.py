@@ -13,6 +13,7 @@ import pytest
 
 from repro.core import CAD, CADConfig, StreamingCAD
 from repro.core.parallel import (
+    StaleWorkerCacheError,
     _chunk_bounds,
     get_worker_pool,
     pool_generation,
@@ -278,3 +279,89 @@ class TestParallelAfterRestore:
         records_c = resumed.push_many(series.values[:, split:])
         assert records_c == records_b  # resume is bit-identical
         assert records_c == records_a[-len(records_c) :]
+
+
+class TestTenantRounds:
+    """Fleet-facing pool API: shard-affine tenant rounds over cached
+    worker pipelines, and the slot-name uniqueness the cache depends on."""
+
+    def test_slot_names_never_reused_across_pools(self):
+        # Two pools (or a fleet restart recreating the pool) must never
+        # mint the same shared-memory name: a long-lived worker can still
+        # hold an attachment under the old name, and reattaching it to a
+        # fresh slot's buffer would silently alias unrelated windows.
+        shutdown_worker_pool()
+        config = make_config()
+        series = make_series(seed=31, length=700)
+        names = set()
+        for jobs in (2, 3, 2):
+            pool = get_worker_pool(jobs)
+            CAD(config, series.n_sensors).detect(series, n_jobs=jobs)
+            for worker in pool._workers:
+                for slot in worker.slots:
+                    if slot is not None:
+                        assert slot.name not in names, "slot name reused"
+                        names.add(slot.name)
+        shutdown_worker_pool()
+        assert len(names) >= 4
+
+    def test_cache_miss_raises_then_state_ship_heals(self):
+        shutdown_worker_pool()
+        config = make_config(window=40, step=8)
+        n = 6
+        values = make_series(seed=35, n_sensors=n, length=120).values
+        windows = [np.array(values[:, i * 8 : i * 8 + 40]) for i in range(8)]
+        local = CommunityPipeline(config, n)
+        seed_state = local.to_state()
+        pool = get_worker_pool(2)
+        try:
+            # A worker that has never seen this tenant refuses to guess.
+            task = pool.submit_tenant_round(
+                1, config, n, tenant="tr-a", windows=[windows[0]]
+            )
+            with pytest.raises(StaleWorkerCacheError):
+                pool.collect(task)
+            # Ship state once; every later round rides the worker cache.
+            task = pool.submit_tenant_round(
+                1, config, n,
+                tenant="tr-a", windows=[windows[0]], pipeline_state=seed_state,
+            )
+            pool.collect(task)
+            for window in windows[1:-1]:
+                pool.collect(
+                    pool.submit_tenant_round(
+                        1, config, n, tenant="tr-a", windows=[window]
+                    )
+                )
+            task = pool.submit_tenant_round(
+                1, config, n,
+                tenant="tr-a", windows=[windows[-1]], return_state=True,
+            )
+            _, state_after = pool.collect(task)
+            for window in windows:
+                local.process(np.array(window))
+            assert_state_equal(state_after, local.to_state())
+            # Empty-window probe: ships state back without advancing.
+            task = pool.submit_tenant_round(
+                1, config, n, tenant="tr-a", windows=[], return_state=True
+            )
+            stages, probed = pool.collect(task)
+            assert stages == []
+            assert_state_equal(probed, state_after)
+        finally:
+            shutdown_worker_pool()
+
+    def test_reference_engine_needs_no_cache(self):
+        shutdown_worker_pool()
+        config = make_config(window=40, step=8, engine="reference")
+        n = 6
+        window = np.array(make_series(seed=36, n_sensors=n, length=40).values)
+        pool = get_worker_pool(2)
+        try:
+            task = pool.submit_tenant_round(
+                0, config, n, tenant="tr-ref", windows=[window]
+            )
+            stages, state = pool.collect(task)  # no StaleWorkerCacheError
+            assert len(stages) == 1 and state is None
+        finally:
+            shutdown_worker_pool()

@@ -177,3 +177,38 @@ class TestChaosCorruption:
         assert any(f is None for f in fates)
         rerolled = [chaos.round_fate(r, 1) for r in range(200)]
         assert rerolled != fates, "a retry must re-roll the fate"
+
+
+class TestScanOrderIndependence:
+    """``iterdir`` order is a filesystem artifact (hash order on some
+    filesystems, insertion order on others); recovery decisions must not
+    depend on it."""
+
+    def test_generations_ignore_directory_listing_order(
+        self, stream, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        rotation = CheckpointRotation(tmp_path, keep=8)
+        for round_index, seed in ((3, 11), (12, 12), (7, 13), (25, 14)):
+            advance(stream, 30, seed)
+            rotation.write(stream, round_index, {"samples_seen": stream.samples_seen})
+        baseline = rotation.generations()
+        baseline_recover = rotation.recover()
+        assert baseline_recover is not None
+
+        real_iterdir = Path.iterdir
+
+        def adversarial(self):
+            entries = list(real_iterdir(self))
+            # worst case: newest generation listed first, then a rotation
+            entries.reverse()
+            return iter(entries[2:] + entries[:2])
+
+        monkeypatch.setattr(Path, "iterdir", adversarial)
+        shuffled = rotation.generations()
+        assert shuffled == baseline
+        recovered = rotation.recover()
+        assert recovered is not None
+        assert recovered.generation == baseline_recover.generation
+        assert recovered.stream.samples_seen == baseline_recover.stream.samples_seen
